@@ -1,0 +1,78 @@
+"""Ablation: the three sampling strategies at equal average coverage.
+
+Section 5.3 evaluates fixed-period sampling and names two alternatives
+as future work; we implemented them
+(:class:`~repro.passive.sampling.ProbabilisticSampler`,
+:class:`~repro.passive.sampling.CountBudgetSampler`) and compare all
+three at the same ~17 % average coverage (the paper's 10-minutes-of-
+each-hour point).
+
+Measured ordering, which this bench asserts: **fixed-period wins**.
+Service evidence is bursty -- an external sweep delivers hundreds of
+SYN-ACKs in minutes -- so a contiguous kept window captures whole
+segments of a sweep, while per-packet probabilistic thinning keeps a
+rarely-seen server's single SYN-ACK only with probability p.
+Count-budget sampling is worst: its per-hour budget is consumed by the
+popular servers' flood at the top of each hour, leaving it blind when a
+scan arrives mid-hour.  This is the quantitative version of the paper's
+own observation that fixed-period sampling interacts favourably with
+external scans (Section 5.3).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.passive.monitor import PassiveServiceTable
+from repro.passive.sampling import (
+    CountBudgetSampler,
+    FixedPeriodSampler,
+    ProbabilisticSampler,
+    SamplingTable,
+)
+
+
+def _compare(scale: float, seed: int):
+    from repro.experiments.common import get_context
+
+    context = get_context("DTCP1-18d", seed, scale)
+    dataset = context.dataset
+
+    def fresh_table(**kwargs):
+        return PassiveServiceTable(
+            is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports, **kwargs
+        )
+
+    fixed = fresh_table(sampler=FixedPeriodSampler(sample_minutes=10))
+    probabilistic = SamplingTable(
+        fresh_table(), ProbabilisticSampler(probability=10 / 60, salt=seed)
+    )
+    # Budget chosen to keep ~17% of the average per-hour record volume.
+    per_hour = context.records_replayed / (dataset.duration / 3600.0)
+    budget = SamplingTable(
+        fresh_table(), CountBudgetSampler(budget_per_period=max(1, int(per_hour / 6)))
+    )
+    dataset.replay(fixed, probabilistic, budget)
+    baseline = len(context.table.server_addresses())
+    return {
+        "baseline": baseline,
+        "fixed-period 10min/h": len(fixed.server_addresses()),
+        "probabilistic p=1/6": len(probabilistic.table.server_addresses()),
+        "count-budget": len(budget.table.server_addresses()),
+        "budget_fraction": budget.observed_fraction,
+    }
+
+
+def test_bench_ablation_sampling_strategies(benchmark):
+    results = benchmark.pedantic(
+        _compare, args=(BENCH_SCALE, BENCH_SEED), rounds=1, iterations=1
+    )
+    print("\nAblation (sampling strategies at ~17% coverage):")
+    for name in ("baseline", "fixed-period 10min/h", "probabilistic p=1/6",
+                 "count-budget"):
+        share = 100.0 * results[name] / results["baseline"]
+        print(f"  {name:<22} {results[name]:>5} servers ({share:.0f}%)")
+        benchmark.extra_info[name] = results[name]
+    baseline = results["baseline"]
+    assert results["fixed-period 10min/h"] >= results["probabilistic p=1/6"]
+    assert results["fixed-period 10min/h"] > 0.6 * baseline
+    # Count-budget sampling shows the worst retention at comparable
+    # coverage: its budget dies at the top of each hour.
+    assert results["count-budget"] <= results["fixed-period 10min/h"]

@@ -1,0 +1,48 @@
+"""Ablation: sensitivity of the external-scan detection thresholds.
+
+DESIGN.md design decision 2: the paper flags sources contacting >=100
+campus addresses with >=100 RST responses within 12 hours.  This
+benchmark sweeps the thresholds and reports how the detected-scanner
+set and the resulting scan-removal effect change -- loose thresholds
+start flagging legitimate clients; tight ones let small sweeps through.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def _sweep(scale, seed):
+    from repro.experiments.common import get_context
+
+    context = get_context("DTCP1-18d", seed, scale)
+    detector = context.detector
+    return {
+        thresholds: detector.scanners_with(*thresholds)
+        for thresholds in ((25, 25), (50, 50), (100, 100), (200, 200), (400, 400))
+    }
+
+
+def test_bench_ablation_scandetect_thresholds(benchmark):
+    by_threshold = benchmark.pedantic(
+        _sweep, args=(BENCH_SCALE, BENCH_SEED), rounds=1, iterations=1
+    )
+    from repro.experiments.common import get_context
+
+    context = get_context("DTCP1-18d", BENCH_SEED, BENCH_SCALE)
+    actual = context.dataset.mix.scan_plan.scanner_addresses()
+
+    print("\nAblation (scan-detection thresholds):")
+    counts = {}
+    for (min_targets, min_rsts), flagged in sorted(by_threshold.items()):
+        false_positives = flagged - actual
+        counts[min_targets] = len(flagged)
+        print(
+            f"  targets>={min_targets:>3}, rsts>={min_rsts:>3}: "
+            f"{len(flagged):>3} flagged, {len(false_positives)} false positives"
+        )
+        benchmark.extra_info[f"flagged_{min_targets}"] = len(flagged)
+        # No legitimate client emits hundreds of RSTs-drawing SYNs, so
+        # the detector must never flag a non-scanner at any threshold.
+        assert not false_positives
+    # Monotone: loosening thresholds can only add scanners.
+    assert counts[25] >= counts[100] >= counts[400]
+    assert counts[100] > 0

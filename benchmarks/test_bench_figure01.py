@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 1: weighted vs unweighted 12-hour discovery (paper Section 4.1.2).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure01(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure01", bench_seed, bench_scale)
+    m = result.metrics
+    # Passive covers 99% of flow- and client-weight within the first
+    # hour(s); the active sweep needs over an hour (paper: 5/14 min vs
+    # "well over an hour").
+    if bench_scale >= 0.5:  # the weighted tail thins out at paper scale
+        assert m["passive_flow_weighted_t99_minutes"] < 90.0
+        assert m["passive_client_weighted_t99_minutes"] < 90.0
+        assert m["active_flow_weighted_t99_minutes"] > 60.0
+    assert (
+        m["passive_flow_weighted_t99_minutes"]
+        <= m["active_flow_weighted_t99_minutes"]
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 2: 18-day discovery, all vs static (paper Section 4.2).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure02(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure02", bench_seed, bench_scale)
+    m = result.metrics
+    # All-hosts discovery keeps going; static-only slows far more
+    # (paper: ~1/hour vs ~1/3 hours in the last five days).
+    assert m["passive_all_last5d_per_hour"] > m["passive_static_last5d_per_hour"]
+    # Most active discoveries come from the first scan (paper: 62%).
+    assert 0.4 < m["active_first_scan_share"] < 0.9
+    assert m["active_total"] > m["passive_total"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3: 90-day vs 18-day passive monitoring (paper Section 4.2.2).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure03(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure03", bench_seed, bench_scale)
+    m = result.metrics
+    # 90 days finds more than 18; static discovery nearly flattens
+    # while all-hosts keeps climbing (address churn).
+    assert m["90d_total"] > m["18d_total"]
+    assert m["90d_all_last5d_per_hour"] > 2 * m["90d_static_last5d_per_hour"]

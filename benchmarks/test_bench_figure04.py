@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4: the effect of external scans (paper Section 4.3).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure04(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure04", bench_seed, bench_scale)
+    m = result.metrics
+    # Removing detected scanners costs passive a third-ish of its
+    # discoveries (paper: 36%) and the equivalent of days of observation
+    # (paper: 9-15 days).
+    assert 15.0 < m["reduction_pct"] < 60.0
+    assert m["scanners_detected"] >= 5
+    assert m["equivalent_days"] > 2.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5: discovery by address transience (paper Section 4.4.2).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure05(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure05", bench_seed, bench_scale)
+    m = result.metrics
+    # VPN: active finds many, passive near none (paper: ~100 vs ~10).
+    assert m["active_vpn"] > 5 * max(m["passive_vpn"], 1.0)
+    # PPP inverts: passive at least matches active (paper: +15%).
+    assert m["passive_ppp"] >= 0.85 * m["active_ppp"]
+    # DHCP behaves like the general population: active ahead.
+    assert m["active_dhcp"] > m["passive_dhcp"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6: discovery by protocol (paper Section 4.4.3).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure06(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure06", bench_seed, bench_scale)
+    m = result.metrics
+    assert m["active_ssh_pct"] > 90.0
+    assert m["active_ftp_pct"] > 90.0
+    if bench_scale >= 0.5:  # MySQL is a tiny population; needs paper scale
+        assert m["passive_mysql_pct"] < m["active_mysql_pct"] - 20.0
+        assert m["passive_web_pct"] > m["passive_mysql_pct"]

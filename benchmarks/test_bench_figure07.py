@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 7: scan time-of-day and frequency (paper Section 5.1).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure07(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure07", bench_seed, bench_scale)
+    m = result.metrics
+    # Full 12-hourly schedule beats every once-daily subset; day-only
+    # edges night-only; both directions miss servers the other finds.
+    assert m["every_12_hours_pct"] >= m["day_only_pct"]
+    assert m["every_12_hours_pct"] >= m["night_only_pct"]
+    assert m["day_only_pct"] >= m["night_only_pct"] - 1.0
+    assert m["day_not_night"] > 0
+    assert m["night_not_day"] > 0
+    assert 0.0 <= m["frequency_cost_pct"] < 20.0

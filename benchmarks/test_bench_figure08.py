@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8: fixed-period sampling (paper Section 5.3).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure08(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure08", bench_seed, bench_scale)
+    m = result.metrics
+    # Sampling/coverage is non-linear: 50% of the data loses only a few
+    # percent of servers (paper: 5%); 17% loses ~11%.
+    assert m["drop_pct_30min"] < 15.0
+    assert m["drop_pct_30min"] <= m["drop_pct_10min"] <= m["drop_pct_2min"]
+    assert m["drop_pct_2min"] < 65.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9: all-ports 24-hour weighted discovery (paper Section 5.4).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure09(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure09", bench_seed, bench_scale)
+    m = result.metrics
+    # One server dominates the subnet (paper: 97% of connections) and
+    # passive covers nearly all weight quickly.
+    assert m["dominant_server_flow_share_pct"] > 90.0
+    assert m["passive_flow_weighted_final"] > 95.0

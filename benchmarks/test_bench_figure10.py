@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10: all-ports 10-day discovery (paper Section 5.4).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure10(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure10", bench_seed, bench_scale)
+    m = result.metrics
+    # Passive tops out at roughly half the union (paper: 131, ~52%).
+    assert 35.0 < m["passive_share_of_union_pct"] < 70.0
+    assert m["active_total"] > m["passive_total"]

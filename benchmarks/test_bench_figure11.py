@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11: open-port scatter bands (paper Section 5.4).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure11(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure11", bench_seed, bench_scale)
+    m = result.metrics
+    # External scans let passive find all sshd/ftpd; NT services stay
+    # active-only; a few passive-only web births and high ports.
+    assert m["ssh_passive"] >= 0.9 * m["ssh_union"]
+    assert m["ftp_passive"] >= 0.9 * m["ftp_union"]
+    assert m["epmap_passive"] == 0
+    assert m["epmap_active"] > 50 * bench_scale
+    assert m["web_passive_only"] >= 3
+    assert m["high_port_passive_only"] >= 3

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12: winter break (paper Section 5.5).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure12(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "figure12", bench_seed, bench_scale)
+    m = result.metrics
+    # Break passive completeness beats mid-semester (paper: 82 vs 73).
+    assert m["break_passive_pct"] > m["semester_11d_passive_pct"]
+    assert m["break_passive_pct"] > 70.0
+    assert m["break_static_passive_pct"] > 70.0

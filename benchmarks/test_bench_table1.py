@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1: dataset inventory (paper Section 3.3).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table1(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "table1", bench_seed, bench_scale)
+    assert result.metrics["dataset_count"] == 8
+    assert result.metrics["main_address_count"] == 16_130

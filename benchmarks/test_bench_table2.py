@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2: completeness at growing durations (paper Sections 4.1/4.2.4).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table2(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "table2", bench_seed, bench_scale)
+    m = result.metrics
+    # Who wins and by roughly what factor (paper: 98/19 at 12 h, 94/71 at 18 d).
+    assert m["active_pct_12h"] > 90.0
+    assert m["passive_pct_12h"] < 35.0
+    assert m["active_pct_12h"] > 2.5 * m["passive_pct_12h"]
+    assert 55.0 < m["passive_pct_18d"] < 85.0
+    assert m["active_pct_18d"] > m["passive_pct_18d"]
+    assert 0.5 < m["passive_only_pct_18d"] < 12.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 3: 12-hour categorisation (paper Section 4.1.1).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table3(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "table3", bench_seed, bench_scale)
+    m = result.metrics
+    # Idle servers dwarf active ones; a sliver is passive-only.
+    assert m["idle_server_address"] > 2 * m["active_server_address"]
+    assert 0 < m["firewalled_address_or_birth"] < m["active_server_address"]
+    assert m["non-server_address"] > 10_000 * bench_scale

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 4: extended categorisation + firewall confirmation (paper Section 4.2.4).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table4(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "table4", bench_seed, bench_scale)
+    m = result.metrics
+    # The dominant row is semi-idle static servers, as in the paper.
+    assert m["semi-idle"] > m["active_server_address"]
+    assert m["intermittent_idle"] > m["intermittent_active"]
+    # Firewall confirmation: method 1 confirms the large majority.
+    if m["firewall_candidates"] > 0:
+        assert m["firewall_method1"] >= 0.5 * m["firewall_candidates"]

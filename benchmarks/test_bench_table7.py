@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 7: UDP discovery (paper Section 4.5).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table7(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "table7", bench_seed, bench_scale)
+    m = result.metrics
+    # Possibly-open dwarfs definite opens; NetBIOS dominates it.
+    assert m["possibly_open"] > 10 * m["definitely_open"]
+    assert m["netbios_possibly_open"] > 0.5 * m["possibly_open"]
+    # Passive UDP finds few services, nearly all confirmed by active.
+    assert m["passive_total"] < m["definitely_open"] * 3

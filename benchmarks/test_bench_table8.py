@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 8: per-link perspectives (paper Section 5.2).
+
+Builds the underlying dataset(s) at paper scale, measures the analysis
+that produces the reproduction, prints the reproduced rows/series next
+to the paper's numbers, and asserts the shape properties hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table8(benchmark, bench_seed, bench_scale):
+    result = run_and_report(benchmark, "table8", bench_seed, bench_scale)
+    m = result.metrics
+    # Any commercial link sees most servers; Internet2 a minority.
+    assert m["DTCP1-18d_commercial1_pct"] > 60.0
+    assert m["DTCP1-18d_commercial2_pct"] > 40.0
+    if bench_scale >= 0.5:  # link shares concentrate at paper scale
+        assert m["DTCP1-18d_commercial1_pct"] > 75.0
+        assert m["DTCP1-18d_commercial2_pct"] > 75.0
+    assert m["DTCPbreak_internet2_pct"] < 60.0
+    assert m["DTCPbreak_internet2_pct"] < m["DTCPbreak_commercial1_pct"]
+    # Commercial-1 carries more exclusives than commercial-2.
+    assert m["DTCP1-18d_commercial1_exclusive"] >= m["DTCP1-18d_commercial2_exclusive"]

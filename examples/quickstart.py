@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: build a campus dataset and compare discovery methods.
+
+Builds a scaled-down version of the paper's main dataset (DTCP1-18d),
+runs passive monitoring over the border trace and collects the
+scheduled active scans, then prints the Table-2-style overlap summary
+at 12 hours and at 18 days.
+
+Run::
+
+    python examples/quickstart.py [--scale 0.1] [--seed 0]
+"""
+
+import argparse
+
+from repro import PassiveServiceTable, build_dataset, summarize_overlap
+from repro.active.results import union_open_endpoints
+from repro.core.report import TextTable, format_count_pct
+from repro.simkernel.clock import hours
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="population scale (1.0 = the paper's 16,130 addresses)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Building DTCP1-18d at scale {args.scale} ...")
+    dataset = build_dataset("DTCP1-18d", seed=args.seed, scale=args.scale)
+    print(f"  {dataset.population.topology.total_addresses:,} addresses, "
+          f"{len(dataset.scan_reports)} active scans taken")
+
+    table = PassiveServiceTable(
+        is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports
+    )
+    records = dataset.replay(table)
+    print(f"  replayed {records:,} border packet headers\n")
+
+    for label, passive_cutoff, scan_count in (
+        ("first 12 hours, one scan", hours(12), 1),
+        ("full 18 days, all scans", dataset.duration, len(dataset.scan_reports)),
+    ):
+        passive = {
+            address
+            for (address, _, _), t in table.first_seen.items()
+            if t < passive_cutoff
+        }
+        active = {
+            address
+            for address, _ in union_open_endpoints(
+                dataset.scan_reports[:scan_count]
+            )
+        }
+        summary = summarize_overlap(passive, active)
+        report = TextTable(
+            title=f"Server discovery: {label}",
+            headers=["Measure", "Servers"],
+        )
+        for name, count, pct in summary.as_rows():
+            report.add_row(name, format_count_pct(count, pct))
+        print(report.render())
+        print()
+
+    print(
+        "The paper's headline shape: one active scan finds ~98% of the\n"
+        "12-hour union while passive needs days to catch up -- but passive\n"
+        "hears the popular servers within minutes and eventually finds\n"
+        "firewalled servers active probing can never see."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scenario: non-invasive service popularity monitoring.
+
+The paper's second use case: an operator who may not probe (policy,
+privacy, cross-organisational boundaries) but wants to know which
+services matter -- who serves the most clients and connections, and how
+quickly a fresh monitor converges on that picture.  Everything here
+uses passive observation only.
+
+Also demonstrates fixed-period sampling (Section 5.3): how much of the
+popularity picture survives when the monitor keeps only the first ten
+minutes of every hour.
+
+Run::
+
+    python examples/trend_monitoring.py [--scale 0.1] [--seed 0]
+"""
+
+import argparse
+
+from repro import FixedPeriodSampler, PassiveServiceTable, build_dataset
+from repro.core.completeness import weighted_discovery_curve
+from repro.core.report import TextTable
+from repro.core.timeline import DiscoveryTimeline
+from repro.net.addr import format_ipv4
+from repro.net.ports import service_name
+from repro.simkernel.clock import hours, minutes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = build_dataset("DTCP1-18d", seed=args.seed, scale=args.scale)
+    full = PassiveServiceTable(
+        is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports
+    )
+    sampled = PassiveServiceTable(
+        is_campus=dataset.is_campus,
+        tcp_ports=dataset.tcp_ports,
+        sampler=FixedPeriodSampler(sample_minutes=10),
+    )
+    dataset.replay(full, sampled)
+
+    # --- top services by completed connections and unique clients ----
+    ranked = sorted(
+        full.flow_counts.items(), key=lambda item: item[1], reverse=True
+    )
+    report = TextTable(
+        title="Top services by completed connections (18 days, passive only)",
+        headers=["Service", "Connections", "Unique clients", "First heard"],
+    )
+    for endpoint, flows in ranked[:8]:
+        address, port, _ = endpoint
+        report.add_row(
+            f"{format_ipv4(address)}:{port} ({service_name(port)})",
+            f"{flows:,}",
+            f"{full.unique_clients(endpoint):,}",
+            f"{full.first_seen[endpoint] / 60:.1f} min in",
+        )
+    print(report.render())
+
+    # --- how fast the popularity picture converges --------------------
+    weights = {}
+    for (address, _, _), flows in full.flow_counts.items():
+        weights[address] = weights.get(address, 0.0) + flows
+    timeline = DiscoveryTimeline.from_events(full.address_discovery_events())
+    curve = weighted_discovery_curve(
+        timeline, weights, 0.0, hours(12), minutes(1)
+    )
+    milestones = TextTable(
+        title="Share of eventual traffic covered by known servers",
+        headers=["Observation time", "% of flow-weight covered"],
+    )
+    for label, t in (("5 minutes", 5), ("15 minutes", 15), ("1 hour", 60),
+                     ("6 hours", 360), ("12 hours", 720)):
+        value = max(v for tt, v in curve if tt <= t * 60.0)
+        milestones.add_row(label, f"{value:.1f}%")
+    print()
+    print(milestones.render())
+
+    # --- sampling trade-off -------------------------------------------
+    full_servers = len(full.server_addresses())
+    sampled_servers = len(sampled.server_addresses())
+    print(
+        f"\nSampling 10 min/hour (17% of the data) still finds "
+        f"{sampled_servers} of {full_servers} servers "
+        f"({100 * sampled_servers / full_servers:.0f}%) -- the paper's "
+        "non-linear sampling result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Scan scheduling and the time-of-day subset selections.
+
+The paper's scans ran every 12 hours, "daily at 11am and then again at
+11pm", for 35 scans over 18 days.  Section 5.1 then compares subsets:
+day-only (11:00) scans, night-only (23:00) scans, and an alternating
+day/night selection with the same scan budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simkernel.clock import Calendar
+from repro.simkernel.schedule import times_of_day
+
+DAY_HOUR = 11
+NIGHT_HOUR = 23
+
+
+def scan_start_times(
+    calendar: Calendar,
+    start: float,
+    end: float,
+    hours_of_day: tuple[int, ...] = (DAY_HOUR, NIGHT_HOUR),
+) -> list[float]:
+    """All scheduled scan start times in ``[start, end)``."""
+    schedule = times_of_day(calendar, *hours_of_day)
+    return list(schedule.occurrences(start, end))
+
+
+@dataclass(frozen=True)
+class ScanScheduleBuilder:
+    """Derives the Section 5.1 scan-time subsets from a full schedule.
+
+    All selections operate on the full every-12-hours schedule so the
+    subsets are exactly the paper's: same underlying scans, different
+    retention.
+    """
+
+    calendar: Calendar
+    start: float
+    end: float
+
+    def full(self) -> list[float]:
+        """Every 12 hours at 11:00 and 23:00 (the baseline)."""
+        return scan_start_times(self.calendar, self.start, self.end)
+
+    def day_only(self) -> list[float]:
+        """One scan per day, at 11:00."""
+        return scan_start_times(self.calendar, self.start, self.end, (DAY_HOUR,))
+
+    def night_only(self) -> list[float]:
+        """One scan per day, at 23:00."""
+        return scan_start_times(self.calendar, self.start, self.end, (NIGHT_HOUR,))
+
+    def alternating(self) -> list[float]:
+        """One scan per day, alternating 11:00 and 23:00.
+
+        Keeps the day-only scan budget while factoring time-of-day out,
+        exactly as Section 5.1 constructs its third subset.
+        """
+        days: dict[str, list[float]] = {}
+        for t in self.full():
+            label = self.calendar.month_day_label(t)
+            days.setdefault(label, []).append(t)
+        selected: list[float] = []
+        pick_day = True
+        for label in sorted(days):
+            candidates = sorted(days[label])
+            if pick_day:
+                selected.append(candidates[0])
+            else:
+                selected.append(candidates[-1])
+            pick_day = not pick_day
+        return selected
+
+    def subset_times(self, name: str) -> list[float]:
+        """Look up a subset by its Figure 7 label."""
+        subsets = {
+            "every-12-hours": self.full,
+            "day-only": self.day_only,
+            "night-only": self.night_only,
+            "alternating": self.alternating,
+        }
+        if name not in subsets:
+            raise KeyError(
+                f"unknown scan subset {name!r}; expected one of {sorted(subsets)}"
+            )
+        return subsets[name]()

@@ -1,0 +1,89 @@
+"""Generic UDP probing (paper Section 4.5).
+
+"Generic UDP probing is difficult because there is no generic positive
+response for service present."  The paper's interpretation rules,
+implemented here:
+
+* a UDP reply is a true positive ("definitely open");
+* an ICMP port-unreachable is a true negative ("definitely closed");
+* silence from a host that answered *some* probe is "possibly open";
+* silence on every probed port means no host presence can be assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.campus.host import UdpProbeOutcome
+from repro.campus.population import CampusPopulation
+from repro.active.results import UdpScanReport
+
+
+@dataclass(frozen=True)
+class UdpProberConfig:
+    """Operating parameters of the generic UDP prober."""
+
+    internal: bool = True
+    parallelism: int = 1
+
+
+class GenericUdpProber:
+    """Sweeps targets with generic (malformed-payload) UDP probes."""
+
+    def __init__(
+        self, population: CampusPopulation, config: UdpProberConfig | None = None
+    ) -> None:
+        self.population = population
+        self.config = config if config is not None else UdpProberConfig()
+
+    def scan(
+        self,
+        targets: Sequence[int],
+        ports: Sequence[int],
+        start: float,
+        duration: float,
+    ) -> UdpScanReport:
+        """Probe every target on every port; classify per the paper's rules."""
+        if duration <= 0:
+            raise ValueError(f"scan duration must be positive: {duration}")
+        if not targets:
+            raise ValueError("cannot scan an empty target list")
+        report = UdpScanReport(
+            start=start,
+            end=start + duration,
+            ports=tuple(ports),
+        )
+        for port in ports:
+            report.definitely_open[port] = set()
+            report.possibly_open[port] = set()
+            report.definitely_closed[port] = set()
+        step = duration / len(targets)
+        for index, address in enumerate(targets):
+            t = start + index * step
+            host = self.population.occupant_host(address, t)
+            outcomes: dict[int, UdpProbeOutcome] = {}
+            for port in ports:
+                if host is None:
+                    outcomes[port] = UdpProbeOutcome.NOTHING
+                else:
+                    outcomes[port] = host.udp_probe_response(
+                        port, t, internal=self.config.internal
+                    )
+            responded = any(
+                outcome is not UdpProbeOutcome.NOTHING for outcome in outcomes.values()
+            )
+            if not responded:
+                report.no_response_addresses.add(address)
+                continue
+            for port, outcome in outcomes.items():
+                if outcome is UdpProbeOutcome.REPLY:
+                    report.definitely_open[port].add(address)
+                elif outcome is UdpProbeOutcome.ICMP_UNREACHABLE:
+                    report.definitely_closed[port].add(address)
+                else:
+                    # Host is demonstrably alive but silent on this
+                    # port: the kernel would normally send ICMP, so the
+                    # port may well have a listener.
+                    report.possibly_open[port].add(address)
+        return report

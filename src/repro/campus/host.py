@@ -1,0 +1,248 @@
+"""Host state: liveness, firewalling, probe responses.
+
+A :class:`Host` owns a set of services, a liveness pattern (static
+hosts are up essentially always; transient hosts are up only during
+sessions -- see :mod:`repro.campus.churn`), a :class:`FirewallPolicy`,
+and a :class:`UdpPolicy` governing how it answers generic UDP probes.
+
+The single most important method is :meth:`Host.tcp_probe_response`:
+both the internal active prober and external scanners resolve their
+probes through it, so active/passive asymmetries (idle servers,
+firewalls, transient hosts) arise from one shared state machine.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.campus.service import Service
+from repro.net.addr import AddressClass
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+
+class ProbeOutcome(str, Enum):
+    """What a single TCP half-open probe elicits."""
+
+    SYNACK = "synack"      # open service
+    RST = "rst"            # host up, port closed
+    NOTHING = "nothing"    # host down, or firewall silently drops
+
+
+class UdpProbeOutcome(str, Enum):
+    """What a single generic UDP probe elicits (paper Section 4.5)."""
+
+    REPLY = "reply"               # service answered the malformed probe
+    ICMP_UNREACHABLE = "icmp"     # definitely closed
+    NOTHING = "nothing"           # open-but-quiet service, firewall, or no host
+
+
+class FirewallScope(str, Enum):
+    """What a host's firewall protects.
+
+    ``SERVICE`` -- only the ports that run services are dropped; probes
+    to other ports get the kernel's normal RST.  This is the common
+    configuration the paper's method-1 confirmation keys on ("dropping
+    probes to firewalled services and sending resets from ports not
+    providing services").
+
+    ``HOST`` -- everything is dropped (a default-deny personal
+    firewall); the host looks completely dark to the blocked prober.
+    """
+
+    SERVICE = "service"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class FirewallPolicy:
+    """Which probe sources a host's firewall silently drops.
+
+    Legitimate client connections always pass (the firewall's allow
+    list covers the host's actual clients); the policy only controls
+    *unsolicited* probes:
+
+    * ``blocks_internal`` -- drops the campus security scanner's
+      probes (the paper's "possible firewall" rows: passive-only
+      discoveries).
+    * ``blocks_external`` -- drops probes arriving from outside
+      campus, i.e. external scans (keeps idle servers invisible to
+      passive monitoring forever).
+    """
+
+    blocks_internal: bool = False
+    blocks_external: bool = False
+
+    #: Dataset time at which the firewall policy becomes effective;
+    #: before this the host answers everything.  Models the one host in
+    #: Table 4 that installed a firewall mid-study.
+    effective_from: float = 0.0
+
+    #: Whether the firewall protects only service ports or the whole host.
+    scope: FirewallScope = FirewallScope.SERVICE
+
+    def drops_probe(self, internal: bool, t: float) -> bool:
+        """True when a probe from an internal/external source is dropped."""
+        if t < self.effective_from:
+            return False
+        return self.blocks_internal if internal else self.blocks_external
+
+    @classmethod
+    def open(cls) -> "FirewallPolicy":
+        return cls()
+
+
+class UdpPolicy(str, Enum):
+    """How a host treats UDP probes to closed ports."""
+
+    ICMP_RESPONDER = "icmp"     # kernel emits ICMP port-unreachable (most hosts)
+    SILENT_DROP = "silent"      # personal firewall drops everything
+
+
+@dataclass
+class Host:
+    """One campus machine.
+
+    Attributes
+    ----------
+    host_id:
+        Stable identifier, unique within a population.
+    category:
+        The :class:`~repro.campus.categories.BehaviorCategory` value
+        the host was synthesised from (kept for ground-truth analysis;
+        the monitors never read it).
+    address_class:
+        Allocation class of the host's address block.
+    static_address:
+        The host's fixed address, for static hosts; transient hosts
+        have ``None`` here and get addresses from the ledger.
+    up_windows:
+        Sorted, disjoint ``(start, end)`` intervals during which the
+        host is powered on and connected.  For static hosts this is
+        typically one interval spanning the dataset.
+    services:
+        The services the host runs, keyed by ``(port, proto)``.
+    firewall:
+        The host's :class:`FirewallPolicy`.
+    udp_policy:
+        ICMP responder or silent drop.
+    """
+
+    host_id: int
+    category: str
+    address_class: AddressClass
+    static_address: int | None = None
+    up_windows: list[tuple[float, float]] = field(default_factory=list)
+    services: dict[tuple[int, int], Service] = field(default_factory=dict)
+    firewall: FirewallPolicy = field(default_factory=FirewallPolicy)
+    udp_policy: UdpPolicy = UdpPolicy.ICMP_RESPONDER
+    _up_starts: list[float] = field(default_factory=list, repr=False)
+
+    def finalize(self) -> None:
+        """Validate and index the liveness windows (call after building)."""
+        self.up_windows.sort()
+        previous_end = -1.0
+        for start, end in self.up_windows:
+            if end <= start:
+                raise ValueError(f"empty liveness window on host {self.host_id}")
+            if start < previous_end:
+                raise ValueError(
+                    f"overlapping liveness windows on host {self.host_id}"
+                )
+            previous_end = end
+        self._up_starts = [start for start, _ in self.up_windows]
+
+    @property
+    def is_transient(self) -> bool:
+        return self.address_class.is_transient
+
+    def add_service(self, service: Service) -> None:
+        """Register *service* on this host (one per (port, proto))."""
+        key = (service.port, service.proto)
+        if key in self.services:
+            raise ValueError(
+                f"host {self.host_id} already runs a service on {key}"
+            )
+        if service.host_id != self.host_id:
+            raise ValueError("service.host_id does not match host")
+        self.services[key] = service
+
+    def service_on(self, port: int, proto: int = PROTO_TCP) -> Service | None:
+        """Return the service on (port, proto), or None."""
+        return self.services.get((port, proto))
+
+    def is_up(self, t: float) -> bool:
+        """True when the host is powered on and connected at time *t*."""
+        index = bisect.bisect_right(self._up_starts, t) - 1
+        if index < 0:
+            return False
+        start, end = self.up_windows[index]
+        return start <= t < end
+
+    def up_windows_clipped(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Liveness windows intersected with ``[start, end)``."""
+        out: list[tuple[float, float]] = []
+        for w_start, w_end in self.up_windows:
+            lo, hi = max(w_start, start), min(w_end, end)
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    def tcp_probe_response(self, port: int, t: float, internal: bool) -> ProbeOutcome:
+        """Resolve a half-open TCP probe to *port* at time *t*.
+
+        Parameters
+        ----------
+        internal:
+            True for the campus security scanner, False for external
+            scans; firewalls may treat the two differently.
+        """
+        if not self.is_up(t):
+            return ProbeOutcome.NOTHING
+        service = self.services.get((port, PROTO_TCP))
+        service_alive = service is not None and service.alive_at(t)
+        if self.firewall.drops_probe(internal, t):
+            if self.firewall.scope is FirewallScope.HOST:
+                return ProbeOutcome.NOTHING
+            # SERVICE scope: protected service ports go dark, every
+            # other port still answers with the kernel's RST -- the
+            # mixed-response signature of Section 4.2.4's method 1.
+            if service_alive:
+                return ProbeOutcome.NOTHING
+            return ProbeOutcome.RST
+        if service_alive:
+            if not internal and service.blocks_external_probes:
+                return ProbeOutcome.NOTHING
+            return ProbeOutcome.SYNACK
+        return ProbeOutcome.RST
+
+    def udp_probe_response(self, port: int, t: float, internal: bool) -> UdpProbeOutcome:
+        """Resolve a generic (malformed-payload) UDP probe.
+
+        A live UDP service replies only when its implementation answers
+        generic probes (``udp_generic_responder`` -- DNS and NetBIOS
+        name servers typically do); otherwise it stays quiet and the
+        prober can at best report "possibly open".
+        """
+        if not self.is_up(t):
+            return UdpProbeOutcome.NOTHING
+        if self.firewall.drops_probe(internal, t):
+            if self.firewall.scope is FirewallScope.HOST:
+                return UdpProbeOutcome.NOTHING
+            blocked = self.services.get((port, PROTO_UDP))
+            if blocked is not None and blocked.alive_at(t):
+                return UdpProbeOutcome.NOTHING
+            if self.udp_policy is UdpPolicy.ICMP_RESPONDER:
+                return UdpProbeOutcome.ICMP_UNREACHABLE
+            return UdpProbeOutcome.NOTHING
+        service = self.services.get((port, PROTO_UDP))
+        if service is not None and service.alive_at(t):
+            if not internal and service.blocks_external_probes:
+                return UdpProbeOutcome.NOTHING
+            if not service.udp_generic_responder:
+                return UdpProbeOutcome.NOTHING
+            return UdpProbeOutcome.REPLY
+        if self.udp_policy is UdpPolicy.ICMP_RESPONDER:
+            return UdpProbeOutcome.ICMP_UNREACHABLE
+        return UdpProbeOutcome.NOTHING

@@ -1,0 +1,135 @@
+"""Web root-page content for simulated web servers.
+
+Section 4.4.1 of the paper downloads the root page of every discovered
+web server and sorts them into seven bins with 185 hand-built string
+signatures.  Our substitute: every simulated HTTP service carries a
+*true* content category, and :func:`render_root_page` produces an HTML
+page for it containing the kind of marker strings real pages in that
+category carry (Apache/IIS test pages, JetDirect status pages, Oracle
+front-ends, login forms, ...).  The classifier in
+:mod:`repro.webclassify` then recovers categories from page text alone,
+so the Table 5 pipeline -- discover, fetch within a day, classify -- is
+exercised end to end, including fetch failures ("no response") for
+transient hosts that have left the network.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PageCategory(str, Enum):
+    """True content category of a web server's root page."""
+
+    CUSTOM = "custom"                 # unique, globally interesting content
+    DEFAULT = "default"               # stock server test page
+    MINIMAL = "minimal"               # fewer than 100 bytes
+    CONFIG_STATUS = "config_status"   # printers, switches, UPSes, ...
+    DATABASE = "database"             # database web front-ends
+    RESTRICTED = "restricted"         # login-gated content
+
+
+_DEFAULT_TEMPLATES = (
+    # Apache family.
+    "<html><head><title>Test Page for the Apache HTTP Server</title></head>"
+    "<body><h1>It works!</h1><p>This page is used to test the proper "
+    "operation of the Apache HTTP server after it has been installed. "
+    "Seeing this instead of the website you expected?</p></body></html>",
+    "<html><head><title>Apache2 Default Page: It works</title></head>"
+    "<body><h1>Apache2 Default Page</h1><p>This is the default welcome "
+    "page used to test the correct operation of the Apache2 server.</p>"
+    "</body></html>",
+    # IIS family.
+    "<html><head><title>Under Construction</title></head><body>"
+    "<h1>Under Construction</h1><p>The site you are trying to view does "
+    "not currently have a default page. Welcome to Windows Small "
+    "Business Server.</p></body></html>",
+    # Generic distribution pages.
+    "<html><head><title>Welcome to Fedora Core Test Page</title></head>"
+    "<body><p>This page is used to test the proper operation of the "
+    "Apache HTTP server after it has been installed.</p></body></html>",
+)
+
+_CONFIG_TEMPLATES = (
+    "<html><head><title>HP JetDirect Printer - Device Status</title></head>"
+    "<body><h1>JetDirect J4169A</h1><table><tr><td>Toner Level</td>"
+    "<td>72%</td></tr><tr><td>Ready</td></tr></table></body></html>",
+    "<html><head><title>Network Camera Live View</title></head><body>"
+    "<h1>AXIS Video Server</h1><p>Live view - camera configuration "
+    "administration</p></body></html>",
+    "<html><head><title>APC UPS Network Management Card</title></head>"
+    "<body><h2>UPS Status: On Line</h2><p>Battery capacity 100%</p>"
+    "</body></html>",
+    "<html><head><title>Switch Administration</title></head><body>"
+    "<h1>Device Configuration Utility</h1><p>Port status and VLAN "
+    "configuration</p></body></html>",
+)
+
+_DATABASE_TEMPLATES = (
+    "<html><head><title>Oracle Application Server - Welcome</title></head>"
+    "<body><h1>Oracle HTTP Server</h1><p>iSQL*Plus database front-end. "
+    "Connect to your database instance.</p></body></html>",
+    "<html><head><title>phpMyAdmin 2.6.4</title></head><body>"
+    "<h1>Welcome to phpMyAdmin</h1><p>MySQL server administration "
+    "interface. Please log in to the database.</p></body></html>",
+)
+
+_RESTRICTED_TEMPLATES = (
+    "<html><head><title>Members Only - Please Log In</title></head><body>"
+    "<form action='/login' method='post'><label>Username</label>"
+    "<input name='user'><label>Password</label>"
+    "<input type='password' name='pass'><input type='submit' "
+    "value='Sign In'></form></body></html>",
+    "<html><head><title>401 Authorization Required</title></head><body>"
+    "<h1>Authorization Required</h1><p>This server could not verify that "
+    "you are authorized to access the document requested.</p></body></html>",
+)
+
+_MINIMAL_TEMPLATES = (
+    "<html><body>ok</body></html>",
+    "<html></html>",
+    "hello",
+)
+
+_CUSTOM_TOPICS = (
+    "computational genomics reading group",
+    "distributed systems seminar schedule",
+    "intramural volleyball league standings",
+    "photonics laboratory publications",
+    "student film festival archive",
+    "marine biology field notes",
+    "linear algebra course materials",
+    "campus bicycle cooperative",
+)
+
+
+def render_root_page(category: PageCategory, rng, host_id: int) -> str:
+    """Return root-page HTML for a server of the given *category*.
+
+    *rng* supplies deterministic variety; *host_id* personalises custom
+    pages so no two are identical (the classifier must not be able to
+    key on a single string for custom content).
+    """
+    if category is PageCategory.DEFAULT:
+        return rng.choice(_DEFAULT_TEMPLATES)
+    if category is PageCategory.CONFIG_STATUS:
+        return rng.choice(_CONFIG_TEMPLATES)
+    if category is PageCategory.DATABASE:
+        return rng.choice(_DATABASE_TEMPLATES)
+    if category is PageCategory.RESTRICTED:
+        return rng.choice(_RESTRICTED_TEMPLATES)
+    if category is PageCategory.MINIMAL:
+        return rng.choice(_MINIMAL_TEMPLATES)
+    if category is PageCategory.CUSTOM:
+        topic = rng.choice(_CUSTOM_TOPICS)
+        serial = rng.randrange(10_000)
+        return (
+            f"<html><head><title>{topic.title()}</title></head><body>"
+            f"<h1>{topic.title()}</h1>"
+            f"<p>Welcome to the home of the {topic} (site #{host_id}, "
+            f"rev {serial}). We meet weekly; schedules, archives and "
+            f"member contributions are below.</p>"
+            f"<ul><li>About us</li><li>News</li><li>Archive</li></ul>"
+            f"</body></html>"
+        )
+    raise ValueError(f"unknown page category: {category!r}")

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operational entry points over the library:
+
+``datasets``
+    Print the dataset registry (the paper's Table 1).
+``survey DATASET``
+    Build a dataset, run both discovery methods, print the overlap
+    summary -- the quickstart as a command.
+``record DATASET OUT``
+    Record a dataset's border traffic to a binary trace file,
+    optionally anonymised.
+``trace-stats FILE``
+    Summarise a recorded trace (record counts, protocol mix, top
+    campus responders).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.core.report import TextTable, format_count_pct
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.datasets.registry import dataset_table_rows
+
+    table = TextTable(
+        title="Datasets (paper Table 1)",
+        headers=["Name", "Start", "Passive", "Scans", "Services",
+                 "Addresses", "Section"],
+    )
+    for row in dataset_table_rows():
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    from repro.active.results import union_open_endpoints
+    from repro.core.completeness import summarize_overlap
+    from repro.datasets import build_dataset
+    from repro.passive.monitor import PassiveServiceTable
+
+    dataset = build_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    table = PassiveServiceTable(
+        is_campus=dataset.is_campus,
+        tcp_ports=dataset.tcp_ports,
+        udp_ports=dataset.udp_ports,
+    )
+    records = dataset.replay(table)
+    active = {a for a, _ in union_open_endpoints(dataset.scan_reports)}
+    if dataset.udp_report is not None:
+        active |= {a for a, _ in dataset.udp_report.open_endpoints()}
+    summary = summarize_overlap(table.server_addresses(), active)
+    report = TextTable(
+        title=(
+            f"{args.dataset} (scale {args.scale}, seed {args.seed}): "
+            f"{records:,} headers, {len(dataset.scan_reports)} scans"
+        ),
+        headers=["Measure", "Servers"],
+    )
+    for name, count, pct in summary.as_rows():
+        report.add_row(name, format_count_pct(count, pct))
+    print(report.render())
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from repro.datasets import build_dataset
+    from repro.simkernel.clock import days
+    from repro.trace.anonymize import Anonymizer
+    from repro.trace.format import TraceWriter
+
+    dataset = build_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    end = days(args.days) if args.days is not None else None
+    anonymizer = (
+        Anonymizer(key=args.anonymize_key)
+        if args.anonymize_key is not None
+        else None
+    )
+    with TraceWriter.open(args.out) as writer:
+        for record in dataset.packet_stream(end=end):
+            if anonymizer is not None:
+                record = anonymizer.anonymize(record)
+            writer.write(record)
+        count = writer.records_written
+    suffix = " (anonymised)" if anonymizer else ""
+    print(f"wrote {count:,} records to {args.out}{suffix}")
+    return 0
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.net.addr import format_ipv4, parse_cidr
+    from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+    from repro.trace.format import TraceReader
+
+    network, prefix = parse_cidr(args.campus)
+    mask = ~((1 << (32 - prefix)) - 1) & 0xFFFFFFFF
+
+    def is_campus(address: int) -> bool:
+        return (address & mask) == network
+
+    protocols: Counter = Counter()
+    flags: Counter = Counter()
+    responders: Counter = Counter()
+    first = last = None
+    total = 0
+    with TraceReader.open(args.file) as reader:
+        for record in reader:
+            total += 1
+            first = record.time if first is None else min(first, record.time)
+            last = record.time if last is None else max(last, record.time)
+            protocols[record.proto] += 1
+            if record.proto == PROTO_TCP:
+                if record.flags.is_synack:
+                    flags["syn-ack"] += 1
+                    if is_campus(record.src):
+                        responders[record.src] += 1
+                elif record.flags.is_syn:
+                    flags["syn"] += 1
+                elif record.flags.is_rst:
+                    flags["rst"] += 1
+                else:
+                    flags["other"] += 1
+    table = TextTable(
+        title=f"Trace {args.file}: {total:,} records",
+        headers=["Measure", "Value"],
+    )
+    if first is not None:
+        table.add_row("time span", f"{first:.1f}s .. {last:.1f}s "
+                                   f"({(last - first) / 3600:.1f} h)")
+    names = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+    for proto, count in protocols.most_common():
+        table.add_row(f"protocol {names.get(proto, proto)}", f"{count:,}")
+    for kind, count in flags.most_common():
+        table.add_row(f"tcp {kind}", f"{count:,}")
+    print(table.render())
+    if responders:
+        top = TextTable(
+            title="Top campus responders (SYN-ACK senders)",
+            headers=["Address", "SYN-ACKs"],
+        )
+        for address, count in responders.most_common(args.top):
+            top.add_row(format_ipv4(address), f"{count:,}")
+        print()
+        print(top.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the paper's datasets")
+
+    survey = commands.add_parser("survey", help="run both discovery methods")
+    survey.add_argument("dataset")
+    survey.add_argument("--scale", type=float, default=0.1)
+    survey.add_argument("--seed", type=int, default=0)
+
+    record = commands.add_parser("record", help="record a border trace")
+    record.add_argument("dataset")
+    record.add_argument("out")
+    record.add_argument("--scale", type=float, default=0.1)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--days", type=float, default=None,
+                        help="record only the first N days")
+    record.add_argument("--anonymize-key", type=int, default=None,
+                        help="anonymise addresses with this key")
+
+    stats = commands.add_parser("trace-stats", help="summarise a trace file")
+    stats.add_argument("file")
+    stats.add_argument("--campus", default="128.125.0.0/16")
+    stats.add_argument("--top", type=int, default=10)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "survey": cmd_survey,
+        "record": cmd_record,
+        "trace-stats": cmd_trace_stats,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

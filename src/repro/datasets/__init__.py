@@ -1,0 +1,23 @@
+"""Dataset registry and builder.
+
+The paper's Table 1 lists eight datasets; :mod:`repro.datasets.registry`
+declares them and :mod:`repro.datasets.builder` materialises any of
+them as a :class:`~repro.datasets.builder.BuiltDataset`: a synthesised
+population, a replayable border-packet stream, and the active scan
+reports taken on the paper's schedule.
+
+Builds are pure functions of ``(spec, seed, scale)``; tests use small
+scales, the experiment runner uses ``scale=1.0``.
+"""
+
+from repro.datasets.builder import BuiltDataset, build_dataset
+from repro.datasets.registry import DatasetSpec, dataset_table_rows, get_spec, registry
+
+__all__ = [
+    "BuiltDataset",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_table_rows",
+    "get_spec",
+    "registry",
+]

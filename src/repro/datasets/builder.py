@@ -1,0 +1,253 @@
+"""Materialising datasets.
+
+:func:`build_dataset` runs the whole production pipeline for one
+registry entry: synthesise the population, realise the external scan
+plan, take the active scans on the paper's 11:00/23:00 schedule, and
+wrap the border traffic in a replayable stream.
+
+Active scanning happens at build time (its results are part of the
+dataset, as the paper's Nmap logs were); passive analysis happens at
+replay time so any number of observers can share one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.active.prober import HalfOpenScanner, ScannerConfig
+from repro.active.results import ScanReport, UdpScanReport
+from repro.active.schedule import scan_start_times
+from repro.active.udp_scan import GenericUdpProber
+from repro.campus.population import (
+    CampusPopulation,
+    attach_udp_population,
+    synthesize_allports_population,
+    synthesize_population,
+)
+from repro.campus.profiles import (
+    allports_profile,
+    break_profile,
+    dudp_profile,
+    semester_profile,
+)
+from repro.datasets.registry import DatasetSpec, get_spec
+from repro.net.addr import AddressClass
+from repro.net.packet import PacketRecord
+from repro.net.ports import SELECTED_TCP_PORTS, SELECTED_UDP_PORTS
+from repro.simkernel.clock import Calendar, hours
+from repro.simkernel.rng import RngStreams, derive_seed
+from repro.traffic.generator import TrafficMix, border_packet_stream, default_diurnal
+from repro.traffic.scans import build_scan_plan
+
+#: Sweep length of one full active scan; the paper reports 90-120
+#: minutes for the large datasets.
+SCAN_SWEEP_SECONDS = hours(1.75)
+
+
+@dataclass
+class BuiltDataset:
+    """A fully materialised dataset.
+
+    Attributes
+    ----------
+    spec:
+        The registry entry this build realises.
+    population:
+        The synthesised campus (ground truth; analyses must not peek).
+    calendar:
+        Maps dataset seconds to wall-clock time.
+    mix:
+        Border-traffic composition (scan plan, diurnal, noise).
+    traffic_seed:
+        Seed of the replayable packet stream.
+    scan_reports:
+        Active TCP scans, in schedule order.
+    udp_report:
+        The generic UDP sweep (DUDP only).
+    scale:
+        Population scale the build used (1.0 = the paper's counts).
+    """
+
+    spec: DatasetSpec
+    population: CampusPopulation
+    calendar: Calendar
+    mix: TrafficMix
+    traffic_seed: int
+    scan_reports: list[ScanReport] = field(default_factory=list)
+    udp_report: UdpScanReport | None = None
+    scale: float = 1.0
+
+    @property
+    def duration(self) -> float:
+        return self.spec.passive_seconds
+
+    @property
+    def tcp_ports(self) -> frozenset[int] | None:
+        """Watched TCP ports; None means all (the DTCPall study)."""
+        if self.spec.ports == "tcp-selected":
+            return frozenset(SELECTED_TCP_PORTS)
+        if self.spec.ports == "tcp-all":
+            return None
+        return frozenset()
+
+    @property
+    def udp_ports(self) -> frozenset[int]:
+        if self.spec.ports == "udp-selected":
+            return frozenset(SELECTED_UDP_PORTS)
+        return frozenset()
+
+    def is_campus(self, address: int) -> bool:
+        return self.population.topology.contains(address)
+
+    def packet_stream(self, end: float | None = None) -> Iterator[PacketRecord]:
+        """A fresh pass over the border capture (deterministic)."""
+        return border_packet_stream(
+            self.population,
+            self.mix,
+            seed=self.traffic_seed,
+            start=0.0,
+            end=self.duration if end is None else end,
+        )
+
+    def replay(self, *observers, end: float | None = None) -> int:
+        """Feed one fresh pass into *observers*; return the record count."""
+        from repro.passive.monitor import replay as _replay
+
+        return _replay(self.packet_stream(end), *observers)
+
+    def scan_windows(self) -> list[tuple[float, float]]:
+        """(start, end) of every active scan, in order."""
+        return [(report.start, report.end) for report in self.scan_reports]
+
+    def probe_targets(self) -> list[int]:
+        """The addresses the campus scanner probes.
+
+        The paper "was not able to actively probe the wireless address
+        range"; the target list reproduces that exclusion.
+        """
+        space = self.population.topology.space
+        return [
+            address
+            for address in space.addresses()
+            if space.class_of(address) is not AddressClass.WIRELESS
+        ]
+
+    def transient_addresses(self) -> set[int]:
+        """Addresses in transient blocks (the DTCP1-18d-trans subset)."""
+        space = self.population.topology.space
+        return {
+            address
+            for block in space.blocks
+            if block.is_transient
+            for address in block.addresses()
+        }
+
+
+def _make_profile(spec: DatasetSpec, scale: float):
+    factories = {
+        "semester": semester_profile,
+        "break": break_profile,
+        "dudp": dudp_profile,
+        "allports": lambda _scale: allports_profile(),
+    }
+    if spec.profile not in factories:
+        raise ValueError(f"unknown profile {spec.profile!r} in spec {spec.name}")
+    return factories[spec.profile](scale)
+
+
+def build_dataset(name: str, seed: int = 0, scale: float = 1.0) -> BuiltDataset:
+    """Build the named dataset.
+
+    Parameters
+    ----------
+    name:
+        Registry name (e.g. ``"DTCP1-18d"``).  Subset rows
+        (DTCP1-12h, DTCP1-18d-trans) build their parent dataset; the
+        experiments take the subset view.
+    seed:
+        Master seed; population, scan plan and traffic derive
+        independent streams from it.
+    scale:
+        Population scale (1.0 reproduces the paper's counts).
+    """
+    spec = get_spec(name)
+    if spec.subset_of is not None:
+        parent = get_spec(spec.subset_of)
+        return build_dataset(parent.name, seed=seed, scale=scale)
+
+    profile = _make_profile(spec, scale)
+    duration = spec.passive_seconds
+    population_seed = derive_seed(seed, f"population.{spec.name}")
+    if spec.profile == "allports":
+        population = synthesize_allports_population(population_seed, duration)
+    else:
+        population = synthesize_population(profile, population_seed, duration)
+    if spec.ports == "udp-selected":
+        attach_udp_population(
+            population, derive_seed(seed, f"udp.{spec.name}"), scale=scale
+        )
+
+    calendar = Calendar(spec.start_date)
+    plan_streams = RngStreams(derive_seed(seed, f"scanplan.{spec.name}"))
+    scan_plan = build_scan_plan(profile.scan_climate, plan_streams, duration)
+    mix = TrafficMix(
+        scan_plan=scan_plan,
+        diurnal=default_diurnal(calendar),
+        academic_fraction=spec.academic_fraction,
+        outbound_noise_flows_per_day=profile.outbound_noise_flows_per_day,
+    )
+    dataset = BuiltDataset(
+        spec=spec,
+        population=population,
+        calendar=calendar,
+        mix=mix,
+        traffic_seed=derive_seed(seed, f"traffic.{spec.name}"),
+        scale=scale,
+    )
+    _run_active_scans(dataset)
+    return dataset
+
+
+def _run_active_scans(dataset: BuiltDataset) -> None:
+    """Take the dataset's active scans per its Table 1 schedule."""
+    spec = dataset.spec
+    if spec.ports == "udp-selected":
+        prober = GenericUdpProber(dataset.population)
+        dataset.udp_report = prober.scan(
+            targets=dataset.probe_targets(),
+            ports=list(dataset.udp_ports),
+            start=hours(1),
+            duration=SCAN_SWEEP_SECONDS,
+        )
+        return
+    if spec.scan_interval_hours == 0:
+        return  # passive-only dataset (DTCP1-90d)
+    scanner = HalfOpenScanner(dataset.population, ScannerConfig(parallelism=2))
+    if spec.ports == "tcp-all":
+        # DTCPall: one sweep of every port, taking nearly 24 hours.
+        report = scanner.scan_open_ports_of_population(
+            start=hours(0.5), duration=hours(23), scan_id=0
+        )
+        dataset.scan_reports = [report]
+        return
+    scan_window = (
+        spec.scan_window_seconds
+        if spec.scan_window_seconds is not None
+        else dataset.duration
+    )
+    starts = scan_start_times(dataset.calendar, 0.0, min(scan_window, dataset.duration))
+    if spec.scan_interval_hours is None:
+        starts = starts[:1]
+    targets = dataset.probe_targets()
+    ports = sorted(dataset.tcp_ports or ())
+    for scan_id, start in enumerate(starts):
+        dataset.scan_reports.append(
+            scanner.scan(
+                targets,
+                ports,
+                start=start,
+                duration=SCAN_SWEEP_SECONDS,
+                scan_id=scan_id,
+            )
+        )

@@ -1,0 +1,211 @@
+"""The dataset registry (paper Table 1).
+
+Each :class:`DatasetSpec` mirrors one row of Table 1.  Two of the
+paper's rows -- DTCP1-12h and DTCP1-18d-trans -- are *analysis subsets*
+of DTCP1-18d (the first 12 hours; the transient address blocks); they
+are declared here with a ``subset_of`` pointer and realised by the
+experiments, not by separate simulation runs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.simkernel.clock import days, hours
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the paper's Table 1.
+
+    Attributes
+    ----------
+    name:
+        Dataset name as the paper spells it (``DTCP1-18d`` etc.).
+    start_date:
+        Wall-clock start.
+    passive_seconds:
+        Length of the passive observation.
+    scan_interval_hours:
+        Hours between active scans; None means a single scan, 0 means
+        no scans at all.
+    scan_count:
+        Expected number of scans (informational, from Table 1).
+    ports:
+        ``"tcp-selected"``, ``"udp-selected"`` or ``"tcp-all"``.
+    profile:
+        Population profile: ``semester``, ``break``, ``dudp``,
+        ``allports``.
+    address_count:
+        Paper's Table 1 address count (informational).
+    section:
+        Paper section the dataset is discussed in.
+    subset_of:
+        Name of the parent dataset when this row is an analysis subset.
+    monitored_links:
+        The peering links whose taps feed the passive analysis.
+    academic_fraction:
+        Share of legitimate clients routed via Internet2.
+    """
+
+    name: str
+    start_date: _dt.datetime
+    passive_seconds: float
+    scan_interval_hours: float | None
+    scan_count: int
+    ports: str
+    profile: str
+    address_count: int
+    section: str
+    subset_of: str | None = None
+    monitored_links: tuple[str, ...] = ("commercial1", "commercial2")
+    academic_fraction: float = 0.04
+    #: Active scans only occur inside this window (seconds from start);
+    #: None means the whole passive duration.  DTCP1 has 90 days of
+    #: passive data but active measurements for only its first 18 days.
+    scan_window_seconds: float | None = None
+
+
+def registry() -> dict[str, DatasetSpec]:
+    """All dataset specs, keyed by name."""
+    specs = [
+        DatasetSpec(
+            name="DTCP1",
+            start_date=_dt.datetime(2006, 8, 10, 10, 0),
+            passive_seconds=days(90),
+            scan_interval_hours=12,
+            scan_count=35,
+            ports="tcp-selected",
+            profile="semester",
+            address_count=16_130,
+            section="4.4.2",
+            scan_window_seconds=days(18),
+        ),
+        DatasetSpec(
+            name="DTCP1-90d",
+            start_date=_dt.datetime(2006, 8, 10, 10, 0),
+            passive_seconds=days(90),
+            scan_interval_hours=0,
+            scan_count=0,
+            ports="tcp-selected",
+            profile="semester",
+            address_count=16_130,
+            section="4.2.2",
+        ),
+        DatasetSpec(
+            name="DTCP1-18d",
+            start_date=_dt.datetime(2006, 9, 19, 10, 0),
+            passive_seconds=days(18),
+            scan_interval_hours=12,
+            scan_count=35,
+            ports="tcp-selected",
+            profile="semester",
+            address_count=16_130,
+            section="4",
+        ),
+        DatasetSpec(
+            name="DTCP1-12h",
+            start_date=_dt.datetime(2006, 9, 19, 10, 0),
+            passive_seconds=hours(12),
+            scan_interval_hours=None,
+            scan_count=1,
+            ports="tcp-selected",
+            profile="semester",
+            address_count=16_130,
+            section="4",
+            subset_of="DTCP1-18d",
+        ),
+        DatasetSpec(
+            name="DTCP1-18d-trans",
+            start_date=_dt.datetime(2006, 9, 19, 10, 0),
+            passive_seconds=days(18),
+            scan_interval_hours=12,
+            scan_count=35,
+            ports="tcp-selected",
+            profile="semester",
+            address_count=2_296,
+            section="4.4.2",
+            subset_of="DTCP1-18d",
+        ),
+        DatasetSpec(
+            name="DTCPbreak",
+            start_date=_dt.datetime(2006, 12, 16, 10, 0),
+            passive_seconds=days(11),
+            scan_interval_hours=12,
+            scan_count=22,
+            ports="tcp-selected",
+            profile="break",
+            address_count=16_130,
+            section="5.2, 5.5",
+            monitored_links=("commercial1", "commercial2", "internet2"),
+            academic_fraction=0.55,
+        ),
+        DatasetSpec(
+            name="DTCPall",
+            start_date=_dt.datetime(2006, 8, 26, 10, 0),
+            passive_seconds=days(10),
+            scan_interval_hours=None,
+            scan_count=1,
+            ports="tcp-all",
+            profile="allports",
+            address_count=256,
+            section="5.4",
+        ),
+        DatasetSpec(
+            name="DUDP",
+            start_date=_dt.datetime(2006, 10, 18, 10, 0),
+            passive_seconds=days(1),
+            scan_interval_hours=None,
+            scan_count=1,
+            ports="udp-selected",
+            profile="dudp",
+            address_count=16_130,
+            section="4.5",
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, when *name* is unknown.
+    """
+    specs = registry()
+    if name not in specs:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(specs)}")
+    return specs[name]
+
+
+def dataset_table_rows() -> list[list[str]]:
+    """Rows of the paper's Table 1, rendered from the registry."""
+    rows = []
+    for spec in registry().values():
+        if spec.scan_interval_hours is None:
+            scans = "once"
+        elif spec.scan_interval_hours == 0:
+            scans = "-"
+        else:
+            scans = f"every {spec.scan_interval_hours:g} hrs"
+        duration_days = spec.passive_seconds / days(1)
+        duration = (
+            f"{duration_days:g} days"
+            if duration_days >= 1
+            else f"{spec.passive_seconds / hours(1):g} hours"
+        )
+        rows.append(
+            [
+                spec.name,
+                spec.start_date.strftime("%d %b. %Y"),
+                duration,
+                scans,
+                spec.ports,
+                f"{spec.address_count:,}",
+                spec.section,
+            ]
+        )
+    return rows

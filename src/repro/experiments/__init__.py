@@ -1,0 +1,52 @@
+"""Experiment harness: one module per paper table and figure.
+
+Every experiment module exposes::
+
+    run(seed: int = 0, scale: float = 1.0) -> ExperimentResult
+
+returning an :class:`~repro.experiments.common.ExperimentResult` whose
+``render()`` emits the reproduced rows/series next to the paper's
+numbers and whose ``metrics`` dict feeds the shape assertions in the
+benchmark suite.  :mod:`repro.experiments.runner` executes all of them
+and regenerates EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    AnalysisContext,
+    ExperimentResult,
+    clear_caches,
+    get_context,
+    get_dataset,
+)
+
+ALL_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "figure01",
+    "figure02",
+    "figure03",
+    "figure04",
+    "figure05",
+    "figure06",
+    "figure07",
+    "figure08",
+    "figure09",
+    "figure10",
+    "figure11",
+    "figure12",
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "AnalysisContext",
+    "ExperimentResult",
+    "clear_caches",
+    "get_context",
+    "get_dataset",
+]

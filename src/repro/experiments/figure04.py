@@ -1,0 +1,93 @@
+"""Figure 4: passive discovery with and without external scans.
+
+The scan-removal experiment (Section 4.3): detect systematic external
+scanners with the >=100-targets/>=100-RSTs heuristic, then recompute
+passive discovery with every flagged source's conversations removed.
+The paper finds 65 scanner IPs whose removal costs passive monitoring
+36 % of its discoveries and the equivalent of 9-15 days of observation.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_series
+from repro.core.timeline import DiscoveryTimeline, cumulative_curve
+from repro.experiments.common import (
+    ExperimentResult,
+    get_context,
+    passive_table_without_scanners,
+    percent,
+)
+from repro.simkernel.clock import days, hours
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    context = get_context("DTCP1-18d", seed, scale)
+    duration = context.dataset.duration
+
+    with_scans = context.passive_address_timeline()
+    scanners = context.detector.scanners()
+    table_without = passive_table_without_scanners(context)
+    without_scans = DiscoveryTimeline.from_events(
+        table_without.address_discovery_events()
+    )
+
+    step = hours(6)
+    series = {
+        "with external scans": [
+            (t / 86400.0, float(v))
+            for t, v in cumulative_curve(with_scans, 0, duration, step)
+        ],
+        "external scans removed": [
+            (t / 86400.0, float(v))
+            for t, v in cumulative_curve(without_scans, 0, duration, step)
+        ],
+    }
+    total_with = len(with_scans)
+    total_without = len(without_scans)
+    reduction_pct = percent(total_with - total_without, total_with)
+
+    # How many extra observation days do scans buy?  The paper anchors
+    # right after the first big sweep: with scans, >1,200 servers were
+    # known by 9-20 (day ~1.5); without, reaching the same count took
+    # an additional 9.5 days.
+    anchor = days(1.5)
+    anchor_count = with_scans.count_before(anchor)
+    catchup = None
+    for t, count in cumulative_curve(without_scans, 0, duration, hours(1)):
+        if count >= anchor_count:
+            catchup = t
+            break
+    equivalent_days = (catchup - anchor) / days(1) if catchup is not None else None
+
+    metrics = {
+        "scanners_detected": float(len(scanners)),
+        "passive_with_scans": float(total_with),
+        "passive_without_scans": float(total_without),
+        "reduction_pct": reduction_pct,
+        "equivalent_days": (
+            equivalent_days if equivalent_days is not None else float("inf")
+        ),
+    }
+    body = render_series(
+        "Figure 4 -- Passive discovery with and without external scans",
+        series,
+        x_label="days",
+        y_label="server addresses discovered",
+    )
+    return ExperimentResult(
+        experiment_id="figure04",
+        title="Figure 4: The effect of external scans (Section 4.3)",
+        body=body,
+        metrics=metrics,
+        series=series,
+        paper_values={
+            "scanners_detected": 65.0,
+            "reduction_pct": 36.0,
+            "equivalent_days": 12.0,  # paper: 9-15 days of extra observation
+        },
+        notes=[
+            f"Detected {len(scanners)} scanner sources; removing them "
+            f"drops passive discovery by {reduction_pct:.0f}% "
+            "(paper: 65 sources, 36%).",
+        ],
+    )

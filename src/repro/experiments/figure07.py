@@ -1,0 +1,91 @@
+"""Figure 7: network scanning at different times of day.
+
+Section 5.1 compares four scan retention policies over the same 18-day
+scan series: every 12 hours (the baseline), daily at 11:00, daily at
+23:00, and daily alternating.  Ground truth is the full DTCP1-18d
+union; the paper finds day-only scanning beats night-only by ~3 % and
+halving scan frequency costs ~8 %.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_series
+from repro.core.timeline import DiscoveryTimeline, cumulative_curve
+from repro.experiments.common import ExperimentResult, get_context, percent
+from repro.active.schedule import ScanScheduleBuilder
+from repro.simkernel.clock import hours
+
+SUBSETS = ("every-12-hours", "day-only", "night-only", "alternating")
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    context = get_context("DTCP1-18d", seed, scale)
+    dataset = context.dataset
+    duration = dataset.duration
+    union = context.union_addresses()
+
+    builder = ScanScheduleBuilder(
+        calendar=dataset.calendar, start=0.0, end=duration
+    )
+    # Map scheduled times to the scans actually taken at those times.
+    reports_by_start = {round(r.start): r for r in dataset.scan_reports}
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    metrics: dict[str, float] = {}
+    subset_addresses: dict[str, set[int]] = {}
+    for name in SUBSETS:
+        times = builder.subset_times(name)
+        reports = [
+            reports_by_start[round(t)]
+            for t in times
+            if round(t) in reports_by_start
+        ]
+        timeline = DiscoveryTimeline()
+        for report in reports:
+            for t, address, _ in report.opens:
+                timeline.record(address, t)
+        series[name] = [
+            (t / 86400.0, percent(v, len(union)))
+            for t, v in cumulative_curve(timeline, 0, duration, hours(12))
+        ]
+        subset_addresses[name] = timeline.items()
+        metrics[f"{name.replace('-', '_')}_pct"] = percent(
+            len(timeline), len(union)
+        )
+        metrics[f"{name.replace('-', '_')}_scans"] = float(len(reports))
+
+    day_only = subset_addresses["day-only"]
+    night_only = subset_addresses["night-only"]
+    metrics["day_not_night"] = float(len(day_only - night_only))
+    metrics["night_not_day"] = float(len(night_only - day_only))
+    metrics["day_vs_night_gap_pct"] = (
+        metrics["day_only_pct"] - metrics["night_only_pct"]
+    )
+    metrics["frequency_cost_pct"] = (
+        metrics["every_12_hours_pct"] - metrics["alternating_pct"]
+    )
+    body = render_series(
+        "Figure 7 -- Scan completeness by time-of-day policy "
+        "(percent of DTCP1-18d union)",
+        series,
+        x_label="days",
+        y_label="% of union found",
+    )
+    return ExperimentResult(
+        experiment_id="figure07",
+        title="Figure 7: Time and frequency of active probing (Section 5.1)",
+        body=body,
+        metrics=metrics,
+        series=series,
+        paper_values={
+            "day_vs_night_gap_pct": 3.0,
+            "frequency_cost_pct": 8.0,
+            "day_not_night": 325.0,
+            "night_not_day": 232.0,
+        },
+        notes=[
+            "Paper: day scanning finds 325 servers night scanning "
+            "misses and vice versa 232; halving scan frequency costs "
+            "~8% completeness after 18 days.",
+        ],
+    )

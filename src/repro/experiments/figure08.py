@@ -1,0 +1,75 @@
+"""Figure 8: fixed-period sampling of the passive trace.
+
+Section 5.3: keep only the first 2/5/10/30 minutes of every hour and
+measure how much passive discovery survives.  The paper's relationship
+is strongly non-linear -- 50 % of the data loses only ~5 % of servers,
+16 % of the data loses ~11 % -- because external scans are short and
+either land in a sample window or get caught by a later scan.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_series
+from repro.core.timeline import DiscoveryTimeline, cumulative_curve
+from repro.experiments.common import (
+    ExperimentResult,
+    get_context,
+    percent,
+    sampled_tables,
+)
+from repro.simkernel.clock import hours
+
+SAMPLE_MINUTES: tuple[float, ...] = (2.0, 5.0, 10.0, 30.0)
+
+PAPER_DROPS = {30.0: 5.0, 10.0: 11.0}
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    context = get_context("DTCP1-18d", seed, scale)
+    duration = context.dataset.duration
+    baseline = context.passive_address_timeline()
+    baseline_total = len(baseline)
+
+    tables = sampled_tables(context, SAMPLE_MINUTES)
+    series: dict[str, list[tuple[float, float]]] = {
+        "no sampling": [
+            (t / 86400.0, percent(v, baseline_total))
+            for t, v in cumulative_curve(baseline, 0, duration, hours(12))
+        ]
+    }
+    metrics: dict[str, float] = {"baseline_total": float(baseline_total)}
+    for minutes_kept, table in sorted(tables.items()):
+        timeline = DiscoveryTimeline.from_events(table.address_discovery_events())
+        series[f"{minutes_kept:g} min of each hour"] = [
+            (t / 86400.0, percent(v, baseline_total))
+            for t, v in cumulative_curve(timeline, 0, duration, hours(12))
+        ]
+        found = len(timeline)
+        drop = percent(baseline_total - found, baseline_total)
+        metrics[f"drop_pct_{minutes_kept:g}min"] = drop
+        metrics[f"found_{minutes_kept:g}min"] = float(found)
+
+    body = render_series(
+        "Figure 8 -- Passive discovery under fixed-period sampling "
+        "(percent of continuous monitoring's total)",
+        series,
+        x_label="days",
+        y_label="% of unsampled total",
+    )
+    return ExperimentResult(
+        experiment_id="figure08",
+        title="Figure 8: Sampled observations (Section 5.3)",
+        body=body,
+        metrics=metrics,
+        series=series,
+        paper_values={
+            "drop_pct_30min": 5.0,
+            "drop_pct_10min": 11.0,
+        },
+        notes=[
+            "The sampling/coverage relationship is non-linear: half the "
+            "data costs only a few percent of the servers, because "
+            "popular servers are heard in any window and scan-revealed "
+            "servers get re-revealed by later scans.",
+        ],
+    )

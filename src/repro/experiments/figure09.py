@@ -1,0 +1,73 @@
+"""Figure 9: weighted and unweighted discovery over 24 hours, all ports.
+
+The DTCPall study (Section 5.4): one /24 of lab machines, every port.
+One host serves 97 % of the subnet's inbound connections; the active
+sweep takes nearly 24 hours, so its weighted curve jumps when the
+dominant server's address is reached.
+"""
+
+from __future__ import annotations
+
+from repro.core.completeness import (
+    unit_weights,
+    weighted_discovery_curve,
+)
+from repro.core.report import render_series
+from repro.core.timeline import DiscoveryTimeline
+from repro.experiments.common import ExperimentResult, get_context
+from repro.simkernel.clock import hours, minutes
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    context = get_context("DTCPall", seed, scale)
+    window = min(hours(24), context.dataset.duration)
+
+    passive = context.passive_address_timeline().before(window)
+    scan = context.dataset.scan_reports[0]
+    active = DiscoveryTimeline.from_events(
+        (t, address) for t, address, _ in scan.opens if t < window
+    )
+    union = passive.items() | active.items()
+    flow_weights = context.flow_weights_by_address()
+    client_weights = context.client_weights_by_address()
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    metrics: dict[str, float] = {}
+    for method, timeline in (("passive", passive), ("active", active)):
+        for label, weights in (
+            ("unweighted", unit_weights(union)),
+            ("flow-weighted", flow_weights),
+            ("client-weighted", client_weights),
+        ):
+            curve = weighted_discovery_curve(
+                timeline, weights, 0.0, window, minutes(15), universe=union
+            )
+            series[f"{method} {label}"] = [(t / 3600.0, v) for t, v in curve]
+            metrics[f"{method}_{label.replace('-', '_')}_final"] = curve[-1][1]
+
+    total_flows = sum(flow_weights.values())
+    dominant_share = (
+        100.0 * max(flow_weights.values()) / total_flows if total_flows else 0.0
+    )
+    metrics["dominant_server_flow_share_pct"] = dominant_share
+    body = render_series(
+        "Figure 9 -- Weighted/unweighted discovery over 24 hours, all ports "
+        "(DTCPall)",
+        series,
+        x_label="hours",
+        y_label="% of union weight found",
+    )
+    return ExperimentResult(
+        experiment_id="figure09",
+        title="Figure 9: All-ports 24-hour discovery (Section 5.4)",
+        body=body,
+        metrics=metrics,
+        series=series,
+        paper_values={"dominant_server_flow_share_pct": 97.0},
+        notes=[
+            f"One server carries {dominant_share:.0f}% of inbound "
+            "connections (paper: 97%); passive finds it within minutes "
+            "while the all-port sweep reaches it only when its address "
+            "comes up in the scan order.",
+        ],
+    )

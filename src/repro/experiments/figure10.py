@@ -1,0 +1,71 @@
+"""Figure 10: cumulative discovery over 10 days, all known ports.
+
+Extends the DTCPall passive observation from one day to the full ten.
+The paper's finding: unlike the selected-port study, all-ports passive
+discovery tops out after about four days at slightly over half of the
+union -- local-only services (Windows RPC, X11) never attract wide-area
+traffic, and the single active scan already found everything else.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_series
+from repro.core.timeline import cumulative_curve
+from repro.experiments.common import ExperimentResult, get_context, percent
+from repro.simkernel.clock import days, hours
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    context = get_context("DTCPall", seed, scale)
+    duration = context.dataset.duration
+
+    # The paper counts *servers* (addresses), its Figure 10 y-axis
+    # topping out near the subnet's 250 hosts.
+    passive = context.passive_address_timeline()
+    active = context.active_address_timeline()
+    union = passive.items() | active.items()
+
+    step = hours(6)
+    series = {
+        "passive (servers)": [
+            (t / 86400.0, float(v))
+            for t, v in cumulative_curve(passive, 0, duration, step)
+        ],
+        "active (servers)": [
+            (t / 86400.0, float(v))
+            for t, v in cumulative_curve(active, 0, duration, step)
+        ],
+    }
+    passive_total = len(passive)
+    union_total = len(union)
+    # When does passive stop discovering?  Last discovery time.
+    last_discovery = max(passive.first_seen.values(), default=0.0)
+    metrics = {
+        "passive_total": float(passive_total),
+        "active_total": float(len(active)),
+        "union_total": float(union_total),
+        "passive_share_of_union_pct": percent(passive_total, union_total),
+        "passive_last_discovery_day": last_discovery / days(1),
+    }
+    body = render_series(
+        "Figure 10 -- Ten days of all-ports discovery (DTCPall)",
+        series,
+        x_label="days",
+        y_label="service endpoints discovered",
+    )
+    return ExperimentResult(
+        experiment_id="figure10",
+        title="Figure 10: All-ports 10-day discovery (Section 5.4)",
+        body=body,
+        metrics=metrics,
+        series=series,
+        paper_values={
+            "passive_total": 131.0,
+            "passive_share_of_union_pct": 52.0,
+        },
+        notes=[
+            "Passive tops out at roughly half of all services on the "
+            "lab subnet: NT/RPC and X11 services have no wide-area "
+            "clients, so only active probing sees them.",
+        ],
+    )

@@ -1,0 +1,85 @@
+"""Figure 11: scatter of open ports across lab-subnet hosts.
+
+The paper plots (host, port) points for DTCPall, coloured by which
+method found them.  A text report can't scatter-plot, so we reproduce
+the underlying data two ways: the per-port discovery bands (how many
+hosts had each service, by method) and summary metrics for the bands
+the paper annotates (SSH/FTP found passively only via external scans;
+epmap/NT services active-only; a few passive-only births and
+ephemeral high ports).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.report import TextTable
+from repro.experiments.common import ExperimentResult, get_context
+from repro.net.ports import service_name
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    context = get_context("DTCPall", seed, scale)
+    passive = context.passive_endpoint_timeline()
+    active = context.active_endpoint_timeline()
+
+    per_port: dict[int, dict[str, set[int]]] = defaultdict(
+        lambda: {"passive": set(), "active": set()}
+    )
+    for (address, port, *_rest) in passive.first_seen:
+        per_port[port]["passive"].add(address)
+    for (address, port) in active.first_seen:
+        per_port[port]["active"].add(address)
+
+    table = TextTable(
+        title="Figure 11 -- Open ports by host count and method (DTCPall)",
+        headers=[
+            "Port", "Service", "Hosts (union)", "Active", "Passive",
+            "Active only", "Passive only",
+        ],
+    )
+    metrics: dict[str, float] = {}
+    for port in sorted(per_port):
+        sets = per_port[port]
+        union = sets["passive"] | sets["active"]
+        table.add_row(
+            port,
+            service_name(port),
+            len(union),
+            len(sets["active"]),
+            len(sets["passive"]),
+            len(sets["active"] - sets["passive"]),
+            len(sets["passive"] - sets["active"]),
+        )
+    for port, label in ((22, "ssh"), (21, "ftp"), (135, "epmap"), (80, "web")):
+        sets = per_port.get(port, {"passive": set(), "active": set()})
+        union = sets["passive"] | sets["active"]
+        metrics[f"{label}_union"] = float(len(union))
+        metrics[f"{label}_passive"] = float(len(sets["passive"]))
+        metrics[f"{label}_active"] = float(len(sets["active"]))
+        metrics[f"{label}_passive_only"] = float(
+            len(sets["passive"] - sets["active"])
+        )
+    high_ports_passive_only = sum(
+        1
+        for port, sets in per_port.items()
+        if port > 1024 and port not in (3306, 6000, 7100)
+        and sets["passive"] and not sets["active"]
+    )
+    metrics["high_port_passive_only"] = float(high_ports_passive_only)
+    table.add_note(
+        "SSH and FTP columns show passive catching up with active "
+        "thanks to external scans; the epmap/NT band is active-only "
+        "(local services); passive-only web rows are servers born "
+        "after the single scan."
+    )
+    return ExperimentResult(
+        experiment_id="figure11",
+        title="Figure 11: Open-port scatter, DTCPall (Section 5.4)",
+        body=table.render(),
+        metrics=metrics,
+        paper_values={
+            "web_passive_only": 6.0,   # six web servers born after the scan
+            "epmap_passive": 0.0,
+        },
+    )

@@ -1,0 +1,176 @@
+"""Seed-sweep robustness analysis.
+
+A reproduction built on a synthetic population should say how much its
+numbers wobble across realisations.  :func:`seed_sweep` reruns an
+experiment over several master seeds and aggregates every metric into
+mean / standard deviation / extremes; :func:`sweep_report` renders the
+result, flagging metrics whose coefficient of variation exceeds a
+threshold (those should be quoted as ranges, not point values).
+
+Usage::
+
+    python -m repro.experiments.robustness table2 --seeds 5 --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.report import TextTable
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import clear_caches
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """Distribution of one metric over a seed sweep."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        finite = [v for v in self.values if math.isfinite(v)]
+        return sum(finite) / len(finite) if finite else float("nan")
+
+    @property
+    def stdev(self) -> float:
+        finite = [v for v in self.values if math.isfinite(v)]
+        if len(finite) < 2:
+            return 0.0
+        mu = sum(finite) / len(finite)
+        return math.sqrt(sum((v - mu) ** 2 for v in finite) / (len(finite) - 1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (stdev / |mean|); 0 for zero mean."""
+        mu = self.mean
+        if not mu or not math.isfinite(mu):
+            return 0.0
+        return self.stdev / abs(mu)
+
+
+@dataclass
+class SweepResult:
+    """All metric spreads of one experiment across seeds."""
+
+    experiment_id: str
+    seeds: tuple[int, ...]
+    scale: float
+    spreads: dict[str, MetricSpread] = field(default_factory=dict)
+    paper_values: dict[str, float] = field(default_factory=dict)
+
+    def unstable_metrics(self, cv_threshold: float = 0.25) -> list[str]:
+        """Metrics whose relative spread exceeds the threshold."""
+        return sorted(
+            name
+            for name, spread in self.spreads.items()
+            if spread.cv > cv_threshold
+        )
+
+
+def seed_sweep(
+    experiment_name: str,
+    seeds: tuple[int, ...],
+    scale: float = 1.0,
+    keep_caches: bool = False,
+) -> SweepResult:
+    """Run *experiment_name* once per seed and aggregate its metrics.
+
+    Parameters
+    ----------
+    keep_caches:
+        Leave the dataset caches warm afterwards (successive sweeps of
+        experiments sharing a dataset can then reuse builds per seed).
+    """
+    from repro.experiments.runner import run_experiment
+
+    if experiment_name not in ALL_EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_name!r}; known: {ALL_EXPERIMENTS}"
+        )
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_seed: dict[int, dict[str, float]] = {}
+    paper: dict[str, float] = {}
+    for seed in seeds:
+        result = run_experiment(experiment_name, seed, scale)
+        per_seed[seed] = dict(result.metrics)
+        paper = dict(result.paper_values)
+    if not keep_caches:
+        clear_caches()
+    names = sorted({name for metrics in per_seed.values() for name in metrics})
+    spreads = {
+        name: MetricSpread(
+            name=name,
+            values=tuple(
+                per_seed[seed].get(name, float("nan")) for seed in seeds
+            ),
+        )
+        for name in names
+    }
+    return SweepResult(
+        experiment_id=experiment_name,
+        seeds=tuple(seeds),
+        scale=scale,
+        spreads=spreads,
+        paper_values=paper,
+    )
+
+
+def sweep_report(result: SweepResult, cv_threshold: float = 0.25) -> str:
+    """Render a sweep as a Markdown table with stability flags."""
+    table = TextTable(
+        title=(
+            f"Seed sweep: {result.experiment_id} over seeds "
+            f"{list(result.seeds)} at scale {result.scale}"
+        ),
+        headers=["Metric", "Mean", "Stdev", "Min", "Max", "Paper", "Stable?"],
+    )
+    for name, spread in sorted(result.spreads.items()):
+        paper = result.paper_values.get(name)
+        table.add_row(
+            name,
+            f"{spread.mean:,.2f}",
+            f"{spread.stdev:,.2f}",
+            f"{spread.minimum:,.2f}",
+            f"{spread.maximum:,.2f}",
+            f"{paper:,.2f}" if paper is not None else "-",
+            "yes" if spread.cv <= cv_threshold else f"no (cv={spread.cv:.2f})",
+        )
+    unstable = result.unstable_metrics(cv_threshold)
+    if unstable:
+        table.add_note(
+            "Quote as ranges rather than point values: " + ", ".join(unstable)
+        )
+    return table.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=ALL_EXPERIMENTS)
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of seeds (0, 1, ..., n-1)")
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--cv-threshold", type=float, default=0.25)
+    args = parser.parse_args(argv)
+    result = seed_sweep(
+        args.experiment, tuple(range(args.seeds)), scale=args.scale
+    )
+    print(sweep_report(result, args.cv_threshold))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

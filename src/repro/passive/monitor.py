@@ -1,0 +1,244 @@
+"""The passive service table and the observer framework.
+
+The paper's rule (Section 3.2): "we assume that any host sending a
+SYN-ACK is running a service"; for UDP, "any host which sends UDP
+traffic from a well known server port is running a UDP service on that
+port".  :class:`PassiveServiceTable` implements both, plus the
+flow/client accumulators behind the weighted-completeness metrics and
+an optional stricter handshake-confirmation signal used as an ablation.
+
+Observers are deliberately order-insensitive: the generator's packet
+stream is only approximately time-ordered (see
+:mod:`repro.traffic.generator`), and first-seen times are maintained
+with ``min`` rather than by assuming monotonicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Protocol
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP, PacketRecord
+
+#: A service endpoint as the passive table keys it.
+Endpoint = tuple[int, int, int]  # (address, port, proto)
+
+
+class PacketObserver(Protocol):
+    """Anything that can consume captured packet records."""
+
+    def observe(self, record: PacketRecord) -> None:  # pragma: no cover
+        ...
+
+
+def replay(stream: Iterable[PacketRecord], *observers: PacketObserver) -> int:
+    """Push every record of *stream* into all *observers*; return count.
+
+    One pass feeds any number of observers, so analyses that need
+    several views (per-link tables, sampled tables, scan detection)
+    share a single traversal of the trace.
+    """
+    count = 0
+    observe_methods = [observer.observe for observer in observers]
+    for record in stream:
+        for observe in observe_methods:
+            observe(record)
+        count += 1
+    return count
+
+
+class ServiceSignal(str, Enum):
+    """What counts as evidence of a TCP service."""
+
+    SYNACK = "synack"          # the paper's choice: any SYN-ACK from campus
+    HANDSHAKE = "handshake"    # ablation: SYN-ACK followed by the client's ACK
+
+
+class UdpSignal(str, Enum):
+    """What counts as evidence of a UDP service.
+
+    The paper notes (Section 2.2) that "while bi-directional traffic
+    positively indicates a UDP service, unidirectional traffic may
+    also indicate a service ... but may also indicate unsolicited
+    probe traffic".  ``SPORT`` is the paper's operational rule (any
+    campus datagram sourced at a watched port); ``BIDIRECTIONAL`` is
+    the stricter alternative requiring a preceding inbound request.
+    """
+
+    SPORT = "sport"
+    BIDIRECTIONAL = "bidirectional"
+
+
+@dataclass
+class PassiveServiceTable:
+    """Passive discovery state built from captured headers.
+
+    Parameters
+    ----------
+    is_campus:
+        Predicate deciding whether an address belongs to the monitored
+        network (direction filter).
+    tcp_ports:
+        TCP server ports tracked; ``None`` tracks every port (the
+        DTCPall study).
+    udp_ports:
+        UDP server ports tracked (empty for TCP-only studies).
+    links:
+        Peering links monitored; ``None`` monitors all.
+    signal:
+        TCP evidence rule (:class:`ServiceSignal`).
+    exclude_sources:
+        External addresses whose conversations are ignored entirely --
+        the scan-removal filter of Section 4.3.
+    sampler:
+        Optional time filter (``keep(t) -> bool``); used for the
+        fixed-period sampling study.
+    """
+
+    is_campus: Callable[[int], bool]
+    tcp_ports: frozenset[int] | None = None
+    udp_ports: frozenset[int] = frozenset()
+    links: frozenset[str] | None = None
+    signal: ServiceSignal = ServiceSignal.SYNACK
+    udp_signal: UdpSignal = UdpSignal.SPORT
+    exclude_sources: frozenset[int] = frozenset()
+    sampler: Callable[[float], bool] | None = None
+
+    #: endpoint -> earliest evidence time.
+    first_seen: dict[Endpoint, float] = field(default_factory=dict)
+    #: endpoint -> number of positive responses (flow weighting).
+    flow_counts: dict[Endpoint, int] = field(default_factory=dict)
+    #: endpoint -> distinct client addresses served (client weighting).
+    clients: dict[Endpoint, set[int]] = field(default_factory=dict)
+    #: (server, client, cport, sport) pairs awaiting the handshake ACK.
+    _pending_handshake: dict[tuple[int, int, int, int], float] = field(
+        default_factory=dict
+    )
+    #: (server, port, client) triples with an inbound UDP request seen
+    #: (BIDIRECTIONAL udp_signal only).
+    _udp_requests: set[tuple[int, int, int]] = field(default_factory=set)
+
+    def observe(self, record: PacketRecord) -> None:
+        """Feed one captured header into the table."""
+        if self.links is not None and record.link not in self.links:
+            return
+        if self.sampler is not None and not self.sampler(record.time):
+            return
+        if record.proto == PROTO_TCP:
+            self._observe_tcp(record)
+        elif record.proto == PROTO_UDP:
+            self._observe_udp(record)
+
+    # ---- TCP --------------------------------------------------------
+
+    def _observe_tcp(self, record: PacketRecord) -> None:
+        flags = record.flags
+        if flags.is_synack:
+            if not self.is_campus(record.src) or self.is_campus(record.dst):
+                return  # not a campus server answering an outside client
+            if record.dst in self.exclude_sources:
+                return
+            if self.tcp_ports is not None and record.sport not in self.tcp_ports:
+                return
+            if self.signal is ServiceSignal.SYNACK:
+                endpoint = (record.src, record.sport, PROTO_TCP)
+                previous = self.first_seen.get(endpoint)
+                if previous is None or record.time < previous:
+                    self.first_seen[endpoint] = record.time
+            else:
+                self._pending_handshake[
+                    (record.src, record.dst, record.dport, record.sport)
+                ] = record.time
+            return
+        if flags & 0x10 and not flags.is_synack and not flags.is_syn:
+            # A bare ACK from an outside client completes a handshake:
+            # the flow/client weighting signal.  Half-open scanners
+            # never send it, so scans do not inflate popularity.
+            if self.is_campus(record.src) or not self.is_campus(record.dst):
+                return
+            if record.src in self.exclude_sources:
+                return
+            if self.tcp_ports is not None and record.dport not in self.tcp_ports:
+                return
+            self._count(record.dst, record.dport, PROTO_TCP, record.src)
+            if self.signal is ServiceSignal.HANDSHAKE:
+                key = (record.dst, record.src, record.sport, record.dport)
+                seen = self._pending_handshake.pop(key, None)
+                if seen is not None:
+                    endpoint = (record.dst, record.dport, PROTO_TCP)
+                    previous = self.first_seen.get(endpoint)
+                    when = min(seen, record.time)
+                    if previous is None or when < previous:
+                        self.first_seen[endpoint] = when
+
+    # ---- UDP --------------------------------------------------------
+
+    def _observe_udp(self, record: PacketRecord) -> None:
+        if not self.udp_ports:
+            return
+        outbound = self.is_campus(record.src) and not self.is_campus(record.dst)
+        inbound = not self.is_campus(record.src) and self.is_campus(record.dst)
+        if (
+            self.udp_signal is UdpSignal.BIDIRECTIONAL
+            and inbound
+            and record.dport in self.udp_ports
+            and record.src not in self.exclude_sources
+        ):
+            self._udp_requests.add((record.dst, record.dport, record.src))
+            return
+        if not outbound:
+            return
+        if record.dst in self.exclude_sources:
+            return
+        if record.sport not in self.udp_ports:
+            return
+        if self.udp_signal is UdpSignal.BIDIRECTIONAL:
+            key = (record.src, record.sport, record.dst)
+            if key not in self._udp_requests:
+                return  # unsolicited datagram: may be probe traffic
+        self._record(record.src, record.sport, PROTO_UDP, record)
+
+    # ---- state updates ----------------------------------------------
+
+    def _record(self, address: int, port: int, proto: int, record: PacketRecord) -> None:
+        endpoint = (address, port, proto)
+        previous = self.first_seen.get(endpoint)
+        if previous is None or record.time < previous:
+            self.first_seen[endpoint] = record.time
+        self._count(address, port, proto, record.dst)
+
+    def _count(self, address: int, port: int, proto: int, client: int) -> None:
+        endpoint = (address, port, proto)
+        self.flow_counts[endpoint] = self.flow_counts.get(endpoint, 0) + 1
+        self.clients.setdefault(endpoint, set()).add(client)
+
+    # ---- results ----------------------------------------------------
+
+    def endpoints(self) -> set[Endpoint]:
+        """All (address, port, proto) endpoints with recorded evidence."""
+        return set(self.first_seen)
+
+    def server_addresses(self) -> set[int]:
+        """Addresses with at least one discovered service."""
+        return {address for address, _, _ in self.first_seen}
+
+    def discovery_events(self) -> list[tuple[float, Endpoint]]:
+        """(first_seen, endpoint) pairs, sorted by time."""
+        return sorted((t, e) for e, t in self.first_seen.items())
+
+    def address_discovery_events(self) -> list[tuple[float, int]]:
+        """(first_seen, address) pairs, address-level, sorted by time."""
+        best: dict[int, float] = {}
+        for (address, _, _), t in self.first_seen.items():
+            if address not in best or t < best[address]:
+                best[address] = t
+        return sorted((t, a) for a, t in best.items())
+
+    def unique_clients(self, endpoint: Endpoint) -> int:
+        """Number of distinct clients that got a positive response."""
+        return len(self.clients.get(endpoint, ()))
+
+    def flows(self, endpoint: Endpoint) -> int:
+        """Number of positive responses sent by the endpoint."""
+        return self.flow_counts.get(endpoint, 0)

@@ -1,0 +1,94 @@
+"""Per-link taps: the partial-perspective study (paper Section 5.2).
+
+The university's traffic splits across two commercial peerings and
+Internet2.  A :class:`LinkTap` is a passive table restricted to one
+link; :class:`MultiLinkMonitor` runs several in one pass and answers
+Table 8's questions: how many servers does each link see, and how many
+are *exclusive* to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.net.packet import PacketRecord
+from repro.passive.monitor import PassiveServiceTable, ServiceSignal
+
+
+@dataclass
+class LinkTap:
+    """A passive monitor attached to one peering link."""
+
+    link: str
+    table: PassiveServiceTable
+
+    @classmethod
+    def create(
+        cls,
+        link: str,
+        is_campus: Callable[[int], bool],
+        tcp_ports: frozenset[int] | None,
+        udp_ports: frozenset[int] = frozenset(),
+        signal: ServiceSignal = ServiceSignal.SYNACK,
+    ) -> "LinkTap":
+        return cls(
+            link=link,
+            table=PassiveServiceTable(
+                is_campus=is_campus,
+                tcp_ports=tcp_ports,
+                udp_ports=udp_ports,
+                links=frozenset({link}),
+                signal=signal,
+            ),
+        )
+
+    def observe(self, record: PacketRecord) -> None:
+        self.table.observe(record)
+
+
+class MultiLinkMonitor:
+    """Several link taps plus a combined all-links table, in one pass."""
+
+    def __init__(
+        self,
+        links: Iterable[str],
+        is_campus: Callable[[int], bool],
+        tcp_ports: frozenset[int] | None,
+        udp_ports: frozenset[int] = frozenset(),
+    ) -> None:
+        self.taps: dict[str, LinkTap] = {
+            link: LinkTap.create(link, is_campus, tcp_ports, udp_ports)
+            for link in links
+        }
+        self.combined = PassiveServiceTable(
+            is_campus=is_campus,
+            tcp_ports=tcp_ports,
+            udp_ports=udp_ports,
+            links=frozenset(self.taps),
+        )
+
+    def observe(self, record: PacketRecord) -> None:
+        self.combined.observe(record)
+        tap = self.taps.get(record.link)
+        if tap is not None:
+            tap.observe(record)
+
+    # ---- Table 8 queries --------------------------------------------
+
+    def servers_on_link(self, link: str) -> set[int]:
+        """Server addresses with evidence on *link* (possibly elsewhere too)."""
+        return self.taps[link].table.server_addresses()
+
+    def exclusive_to_link(self, link: str) -> set[int]:
+        """Server addresses whose *only* evidence crossed *link*."""
+        own = self.servers_on_link(link)
+        others: set[int] = set()
+        for other_link, tap in self.taps.items():
+            if other_link != link:
+                others |= tap.table.server_addresses()
+        return own - others
+
+    def total_servers(self) -> set[int]:
+        """Server addresses seen on any monitored link."""
+        return self.combined.server_addresses()

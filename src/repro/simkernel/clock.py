@@ -1,0 +1,146 @@
+"""Simulated time.
+
+Simulation time is a plain ``float`` number of seconds since the start
+of a dataset.  The :class:`Calendar` maps simulated seconds onto a fixed
+wall-clock calendar (the paper's datasets start on known 2006 dates) so
+experiments can report the same "month-day" axis the paper's figures
+use.  All calendar arithmetic is purely deterministic -- no call ever
+consults the real clock.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+#: Number of seconds in one minute/hour/day, as floats.
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+def seconds(n: float) -> float:
+    """Return *n* seconds (identity; exists for symmetry and readability)."""
+    return float(n)
+
+
+def minutes(n: float) -> float:
+    """Return *n* minutes expressed in seconds."""
+    return float(n) * SECONDS_PER_MINUTE
+
+
+def hours(n: float) -> float:
+    """Return *n* hours expressed in seconds."""
+    return float(n) * SECONDS_PER_HOUR
+
+
+def days(n: float) -> float:
+    """Return *n* days expressed in seconds."""
+    return float(n) * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Calendar:
+    """A fixed mapping between simulated seconds and wall-clock time.
+
+    Parameters
+    ----------
+    start:
+        The wall-clock datetime corresponding to simulation time zero.
+        Defaults to the start of the paper's main dataset
+        (DTCP1-18d, 2006-09-19 at 10:00 local time).
+    """
+
+    start: _dt.datetime = field(
+        default_factory=lambda: _dt.datetime(2006, 9, 19, 10, 0, 0)
+    )
+
+    def to_datetime(self, t: float) -> _dt.datetime:
+        """Return the wall-clock datetime for simulation time *t* seconds."""
+        return self.start + _dt.timedelta(seconds=t)
+
+    def to_sim(self, when: _dt.datetime) -> float:
+        """Return the simulation time (seconds) for wall-clock *when*."""
+        return (when - self.start).total_seconds()
+
+    def hour_of_day(self, t: float) -> float:
+        """Return the fractional hour-of-day (0.0 <= h < 24.0) at time *t*."""
+        moment = self.to_datetime(t)
+        return (
+            moment.hour
+            + moment.minute / 60.0
+            + moment.second / 3600.0
+        )
+
+    def day_of_week(self, t: float) -> int:
+        """Return the weekday at *t* (Monday == 0 ... Sunday == 6)."""
+        return self.to_datetime(t).weekday()
+
+    def is_weekend(self, t: float) -> bool:
+        """Return True when *t* falls on a Saturday or Sunday."""
+        return self.day_of_week(t) >= 5
+
+    def month_day_label(self, t: float) -> str:
+        """Return the paper-style ``MM-DD`` axis label for time *t*."""
+        moment = self.to_datetime(t)
+        return f"{moment.month:02d}-{moment.day:02d}"
+
+    def clock_label(self, t: float) -> str:
+        """Return an ``HH:MM`` label for time *t* (Figure 1 style)."""
+        moment = self.to_datetime(t)
+        return f"{moment.hour:02d}:{moment.minute:02d}"
+
+    def next_time_of_day(self, t: float, hour: int, minute: int = 0) -> float:
+        """Return the first simulation time >= *t* at ``hour:minute``.
+
+        Used to schedule scans "daily at 11:00" regardless of when the
+        dataset begins.
+        """
+        moment = self.to_datetime(t)
+        candidate = moment.replace(hour=hour, minute=minute, second=0, microsecond=0)
+        if candidate < moment:
+            candidate += _dt.timedelta(days=1)
+        return self.to_sim(candidate)
+
+
+class SimClock:
+    """A monotonically advancing simulation clock.
+
+    The clock is deliberately dumb: it only remembers "now" and refuses
+    to move backwards.  Event sources read it; the event loop advances
+    it.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time *t*.
+
+        Raises
+        ------
+        ValueError
+            If *t* is earlier than the current time.  A simulation that
+            tries to rewind its clock has a bug worth failing loudly on.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, requested={t}"
+            )
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by *dt* seconds (*dt* must be >= 0)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by a negative duration: {dt}")
+        self._now += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now!r})"

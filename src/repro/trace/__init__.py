@@ -1,0 +1,23 @@
+"""Packet-header trace recording.
+
+The paper's LANDER infrastructure stored 64-byte packet headers and the
+published datasets are anonymised.  This package provides the same
+pipeline for our simulated captures:
+
+* :mod:`repro.trace.format` -- a compact binary record format with a
+  streaming writer/reader;
+* :mod:`repro.trace.anonymize` -- deterministic, prefix-preserving
+  address anonymisation (campus addresses stay campus addresses, so
+  every analysis still works on anonymised traces).
+"""
+
+from repro.trace.anonymize import Anonymizer
+from repro.trace.format import TraceReader, TraceWriter, read_trace, write_trace
+
+__all__ = [
+    "Anonymizer",
+    "TraceReader",
+    "TraceWriter",
+    "read_trace",
+    "write_trace",
+]

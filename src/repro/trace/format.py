@@ -1,0 +1,177 @@
+"""Binary trace format.
+
+A trace file is a 16-byte header followed by fixed-width 24-byte
+records.  The format stores exactly the fields the monitors consume --
+the simulated analogue of the paper's 64-byte header captures.
+
+Layout (little endian)::
+
+    header:  magic "RPRT" | u16 version | u16 flags | u64 record count
+    record:  f64 time | u32 src | u32 dst | u16 sport | u16 dport
+             | u8 proto | u8 tcp flags | u8 link index | u8 icmp marker
+
+The record count in the header is written on close; a reader tolerates
+a zero count (e.g. a truncated writer) by reading to EOF.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import ICMP_PORT_UNREACHABLE, PacketRecord, TcpFlags
+
+_MAGIC = b"RPRT"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")
+_RECORD = struct.Struct("<dIIHHBBBB")
+
+#: Link names are stored as one-byte indices.
+_LINKS: tuple[str, ...] = ("", "commercial1", "commercial2", "internet2")
+_LINK_INDEX = {name: index for index, name in enumerate(_LINKS)}
+
+#: icmp marker values.
+_ICMP_NONE = 0
+_ICMP_PORT_UNREACH = 1
+
+
+class TraceWriter:
+    """Streaming writer of packet records.
+
+    Use as a context manager::
+
+        with TraceWriter.open(path) as writer:
+            for record in stream:
+                writer.write(record)
+    """
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._file = fileobj
+        self._count = 0
+        self._file.write(_HEADER.pack(_MAGIC, _VERSION, 0, 0))
+
+    @classmethod
+    def open(cls, path: str | Path) -> "TraceWriter":
+        return cls(open(path, "wb"))
+
+    def write(self, record: PacketRecord) -> None:
+        link_index = _LINK_INDEX.get(record.link)
+        if link_index is None:
+            raise ValueError(f"unknown link {record.link!r}")
+        icmp_marker = _ICMP_NONE
+        if record.icmp is not None:
+            if record.icmp != ICMP_PORT_UNREACHABLE:
+                raise ValueError(f"unsupported ICMP kind: {record.icmp}")
+            icmp_marker = _ICMP_PORT_UNREACH
+        self._file.write(
+            _RECORD.pack(
+                record.time,
+                record.src,
+                record.dst,
+                record.sport,
+                record.dport,
+                record.proto,
+                int(record.flags),
+                link_index,
+                icmp_marker,
+            )
+        )
+        self._count += 1
+
+    def close(self) -> None:
+        """Finalise the header and close the file."""
+        self._file.seek(0)
+        self._file.write(_HEADER.pack(_MAGIC, _VERSION, 0, self._count))
+        self._file.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def records_written(self) -> int:
+        return self._count
+
+
+class TraceReader:
+    """Streaming reader; iterates :class:`PacketRecord` values."""
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._file = fileobj
+        header = self._file.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise ValueError("trace file too short for header")
+        magic, version, _, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError(f"bad trace magic: {magic!r}")
+        if version != _VERSION:
+            raise ValueError(f"unsupported trace version: {version}")
+        self.declared_count = count
+
+    @classmethod
+    def open(cls, path: str | Path) -> "TraceReader":
+        return cls(open(path, "rb"))
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        read = self._file.read
+        size = _RECORD.size
+        unpack = _RECORD.unpack
+        while True:
+            chunk = read(size)
+            if len(chunk) < size:
+                if chunk:
+                    raise ValueError("truncated record at end of trace")
+                return
+            (time, src, dst, sport, dport, proto, flags, link_index, icmp) = unpack(
+                chunk
+            )
+            yield PacketRecord(
+                time=time,
+                src=src,
+                dst=dst,
+                sport=sport,
+                dport=dport,
+                proto=proto,
+                flags=TcpFlags(flags),
+                icmp=ICMP_PORT_UNREACHABLE if icmp == _ICMP_PORT_UNREACH else None,
+                link=_LINKS[link_index],
+            )
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(path: str | Path, records: Iterable[PacketRecord]) -> int:
+    """Write all *records* to *path*; return the record count."""
+    with TraceWriter.open(path) as writer:
+        for record in records:
+            writer.write(record)
+        return writer.records_written
+
+
+def read_trace(path: str | Path) -> list[PacketRecord]:
+    """Read a whole trace into memory (tests and small traces only)."""
+    with TraceReader.open(path) as reader:
+        return list(reader)
+
+
+def trace_bytes(records: Iterable[PacketRecord]) -> bytes:
+    """Serialise records to bytes in memory (round-trip tests)."""
+    buffer = io.BytesIO()
+    writer = TraceWriter(buffer)
+    for record in records:
+        writer.write(record)
+    # Finalise header without closing the BytesIO.
+    buffer.seek(0)
+    buffer.write(_HEADER.pack(_MAGIC, _VERSION, 0, writer.records_written))
+    return buffer.getvalue()

@@ -1,0 +1,38 @@
+"""Workload generators.
+
+Turns a :class:`~repro.campus.population.CampusPopulation` into the
+border packet stream a passive monitor would capture:
+
+* :mod:`repro.traffic.clients` -- legitimate client flows to campus
+  services (heavy-tailed popularity, diurnal modulation, per-client
+  peering-link routing);
+* :mod:`repro.traffic.scans` -- external scanners sweeping the campus
+  address space (the paper's unexpected ally of passive monitoring);
+* :mod:`repro.traffic.noise` -- campus-as-client outbound traffic, which
+  carries no service evidence but exercises the monitor's direction
+  filtering;
+* :mod:`repro.traffic.generator` -- composition of all sources into one
+  approximately time-ordered packet stream.
+
+The stream is *approximately* time-ordered (flows are emitted in start
+order; a flow's response trails its request by one RTT).  Every
+consumer in :mod:`repro.passive` is order-insensitive by design, so
+this costs nothing and avoids a global sort of millions of records.
+"""
+
+from repro.traffic.clients import ClientDirectory, client_flow_stream
+from repro.traffic.generator import TrafficMix, border_packet_stream
+from repro.traffic.noise import outbound_noise_stream
+from repro.traffic.scans import ScanPlan, ScanSweep, build_scan_plan, scan_packet_stream
+
+__all__ = [
+    "ClientDirectory",
+    "ScanPlan",
+    "ScanSweep",
+    "TrafficMix",
+    "border_packet_stream",
+    "build_scan_plan",
+    "client_flow_stream",
+    "outbound_noise_stream",
+    "scan_packet_stream",
+]

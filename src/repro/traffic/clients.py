@@ -1,0 +1,176 @@
+"""Legitimate client traffic to campus services.
+
+Each non-silent service runs an inhomogeneous Poisson arrival process
+(its :class:`~repro.campus.service.ActivityPattern` rate, modulated by
+the campus diurnal profile) gated by the owning host's liveness windows
+and the service's lifetime.  Each arrival picks a client from the
+service's deterministic client pool with a Zipf preference, so the
+paper's *client-weighted* and *flow-weighted* completeness metrics both
+have meaningful ground truth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.campus.host import Host
+from repro.campus.population import CampusPopulation
+from repro.campus.service import Service
+from repro.net.flow import FlowKey, FlowRecord
+from repro.simkernel.rng import RngStreams, zipf_weights
+from repro.simkernel.schedule import DiurnalProfile, thinned_poisson_times
+from repro.traffic.links import is_academic_client, link_for_client
+
+#: External client addresses are drawn from this base prefix upward;
+#: far away from the campus 128.125/16.
+_CLIENT_BASE = 0x10_00_00_00  # 16.0.0.0
+
+
+class ClientDirectory:
+    """Deterministic client pools per service.
+
+    The pool for a service is a pure function of (master seed, host id,
+    port), so the same clients return across regenerations of the same
+    dataset -- unique-client counting stays meaningful.
+    """
+
+    def __init__(self, streams: RngStreams, academic_fraction: float = 0.0) -> None:
+        self._streams = streams
+        self._academic_fraction = academic_fraction
+        self._pools: dict[tuple[int, int, int], list[tuple[int, str]]] = {}
+
+    def pool_for(self, service: Service) -> list[tuple[int, str]]:
+        """Return the service's ``(client_address, link)`` pool."""
+        key = (service.host_id, service.port, service.proto)
+        pool = self._pools.get(key)
+        if pool is None:
+            rng = self._streams.stream(
+                f"clients.{service.host_id}.{service.port}.{service.proto}"
+            )
+            pool = []
+            for _ in range(service.activity.client_pool):
+                address = _CLIENT_BASE + rng.getrandbits(27)
+                academic = is_academic_client(address, self._academic_fraction)
+                pool.append((address, link_for_client(address, academic)))
+            self._pools[key] = pool
+        return pool
+
+
+def _intersect(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Intersect two sorted disjoint window lists."""
+    out: list[tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def service_flow_stream(
+    host: Host,
+    service: Service,
+    directory: ClientDirectory,
+    streams: RngStreams,
+    diurnal: DiurnalProfile | None,
+    start: float,
+    end: float,
+) -> Iterator[FlowRecord]:
+    """Yield this service's client flows in ``[start, end)``, time-ordered."""
+    activity = service.activity
+    if activity.is_silent:
+        return
+    windows = _intersect(
+        activity.active_windows(start, end),
+        _intersect(host.up_windows_clipped(start, end), service.lifetime_windows(start, end)),
+    )
+    if not windows:
+        return
+    rng = streams.stream(
+        f"flows.{service.host_id}.{service.port}.{service.proto}"
+    )
+    pool = directory.pool_for(service)
+    # Flat-ish preference: popular services should exhibit most of
+    # their client pool over the study (the client-weighted metric
+    # counts *observed* unique clients).
+    pool_weights = zipf_weights(len(pool), exponent=0.3)
+    # Precompute cumulative weights once; arrivals sample by inverse CDF.
+    cumulative: list[float] = []
+    total = 0.0
+    for w in pool_weights:
+        total += w
+        cumulative.append(total)
+    key = FlowKey(server=0, port=service.port, proto=service.proto)  # addr set per flow
+    for w_start, w_end in windows:
+        for t in thinned_poisson_times(rng, activity.base_rate, w_start, w_end, diurnal):
+            point = rng.random()
+            index = _bisect(cumulative, point)
+            client, link = pool[index]
+            yield FlowRecord(
+                time=t,
+                client=client,
+                key=key,  # placeholder; server address resolved by caller
+                client_port=1024 + rng.getrandbits(14),
+                accepted=True,
+                rtt=0.02 + rng.random() * 0.08,
+                link=link,
+            )
+
+
+def _bisect(cumulative: list[float], point: float) -> int:
+    import bisect
+
+    index = bisect.bisect_left(cumulative, point * cumulative[-1])
+    return min(index, len(cumulative) - 1)
+
+
+def client_flow_stream(
+    population: CampusPopulation,
+    streams: RngStreams,
+    diurnal: DiurnalProfile | None,
+    start: float,
+    end: float,
+    academic_fraction: float = 0.0,
+) -> Iterator[FlowRecord]:
+    """Merged, time-ordered stream of all legitimate client flows.
+
+    Server addresses are resolved against the address ledger at flow
+    time, so a transient host's flows land on whatever address it
+    holds during each session.  Flows from moments where the host holds
+    no address (shouldn't happen, as activity is gated on liveness) are
+    dropped defensively.
+    """
+    directory = ClientDirectory(streams, academic_fraction)
+
+    def resolved(host: Host, service: Service) -> Iterator[FlowRecord]:
+        for flow in service_flow_stream(
+            host, service, directory, streams, diurnal, start, end
+        ):
+            if host.static_address is not None:
+                address = host.static_address
+            else:
+                address = population.ledger.address_of(host.host_id, flow.time)
+                if address is None:
+                    continue
+            yield FlowRecord(
+                time=flow.time,
+                client=flow.client,
+                key=FlowKey(server=address, port=flow.key.port, proto=flow.key.proto),
+                client_port=flow.client_port,
+                accepted=flow.accepted,
+                rtt=flow.rtt,
+                link=flow.link,
+            )
+
+    sources = [
+        resolved(host, service) for host, service in population.services()
+    ]
+    return heapq.merge(*sources, key=lambda flow: flow.time)

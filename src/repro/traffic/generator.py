@@ -1,0 +1,100 @@
+"""Composition of all traffic sources into the border packet stream.
+
+:func:`border_packet_stream` is what dataset builders hand to passive
+observers: one pass over every packet a tap at the campus border would
+capture during ``[start, end)``.  It is a generator -- nothing is
+materialised -- and deterministic in ``(population, mix, seed)``, so a
+dataset can be replayed as many times as the analyses need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.campus.population import CampusPopulation
+from repro.net.packet import PacketRecord
+from repro.simkernel.clock import Calendar
+from repro.simkernel.rng import RngStreams
+from repro.simkernel.schedule import DiurnalProfile
+from repro.traffic.clients import client_flow_stream
+from repro.traffic.noise import outbound_noise_stream
+from repro.traffic.scans import ScanPlan, scan_packet_stream
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Everything that shapes a dataset's border traffic.
+
+    Attributes
+    ----------
+    scan_plan:
+        The realised external scan schedule (may be empty).
+    diurnal:
+        Day/night modulation for client arrivals; None disables it.
+    academic_fraction:
+        Probability that a legitimate client routes via Internet2.
+    outbound_noise_flows_per_day:
+        Rate of campus-as-client browse flows.
+    """
+
+    scan_plan: ScanPlan
+    diurnal: DiurnalProfile | None = None
+    academic_fraction: float = 0.0
+    outbound_noise_flows_per_day: float = 0.0
+
+    @classmethod
+    def quiet(cls) -> "TrafficMix":
+        """A mix with no scans and no noise (unit tests)."""
+        return cls(scan_plan=ScanPlan(sweeps=()))
+
+
+def default_diurnal(calendar: Calendar) -> DiurnalProfile:
+    """The standard campus diurnal profile used by all datasets."""
+    return DiurnalProfile(calendar=calendar)
+
+
+def border_packet_stream(
+    population: CampusPopulation,
+    mix: TrafficMix,
+    seed: int,
+    start: float,
+    end: float,
+) -> Iterator[PacketRecord]:
+    """One pass over the border packet capture for ``[start, end)``.
+
+    The three sources -- client flows (expanded to their SYN/SYN-ACK
+    pairs), external scan sweeps, and outbound noise -- are merged on
+    packet timestamps.  Ordering is approximate within one RTT (a
+    flow's SYN-ACK is emitted with its SYN); all shipped observers are
+    order-insensitive.
+    """
+    streams = RngStreams(seed)
+
+    def flow_packets() -> Iterator[PacketRecord]:
+        for flow in client_flow_stream(
+            population, streams, mix.diurnal, start, end, mix.academic_fraction
+        ):
+            yield from flow.packets()
+
+    sources: list[Iterator[PacketRecord]] = [flow_packets()]
+    if mix.scan_plan.sweeps:
+        sources.append(scan_packet_stream(population, mix.scan_plan, streams, end))
+    if mix.outbound_noise_flows_per_day > 0:
+        sources.append(
+            outbound_noise_stream(
+                population, streams, mix.outbound_noise_flows_per_day, start, end
+            )
+        )
+    if len(sources) == 1:
+        return sources[0]
+    return heapq.merge(*sources, key=lambda record: record.time)
+
+
+def count_packets(stream: Iterator[PacketRecord]) -> int:
+    """Drain *stream* and return how many records it produced."""
+    count = 0
+    for _ in stream:
+        count += 1
+    return count

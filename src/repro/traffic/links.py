@@ -1,0 +1,50 @@
+"""Peering links and client routing.
+
+The university reaches the Internet through three peerings: two
+commercial links and Internet2 (paper Section 5.2).  Routing here is
+source-based: every external address deterministically uses one link.
+Academic clients ride Internet2; everyone else splits across the two
+commercial links with a mild asymmetry (commercial-1 carries more
+traffic, which is why it sees more exclusive servers in Table 8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+LINK_COMMERCIAL1 = "commercial1"
+LINK_COMMERCIAL2 = "commercial2"
+LINK_INTERNET2 = "internet2"
+
+ALL_LINKS = (LINK_COMMERCIAL1, LINK_COMMERCIAL2, LINK_INTERNET2)
+
+#: Share of *commercial* clients using commercial-1.
+COMMERCIAL1_SHARE = 0.62
+
+
+def _stable_unit(address: int, salt: str) -> float:
+    """Deterministic uniform(0,1) from an address (stable across runs)."""
+    digest = hashlib.sha256(f"{salt}:{address}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def link_for_client(address: int, academic: bool) -> str:
+    """Return the peering link traffic from *address* crosses."""
+    if academic:
+        return LINK_INTERNET2
+    if _stable_unit(address, "link") < COMMERCIAL1_SHARE:
+        return LINK_COMMERCIAL1
+    return LINK_COMMERCIAL2
+
+
+def is_academic_client(address: int, academic_fraction: float) -> bool:
+    """Deterministically decide whether a client is an Internet2 peer."""
+    return _stable_unit(address, "academic") < academic_fraction
+
+
+def link_for_scanner(address: int) -> str:
+    """Scanners come in over the commercial links (Internet2's
+    acceptable-use policy keeps sweeps off it)."""
+    if _stable_unit(address, "scanner-link") < 0.75:
+        return LINK_COMMERCIAL1
+    return LINK_COMMERCIAL2

@@ -1,0 +1,61 @@
+"""Campus-as-client outbound traffic.
+
+Campus hosts also *originate* connections to the outside world.  None
+of that traffic is evidence of a campus service -- the SYN leaves
+campus and the SYN-ACK arrives from an external server -- but it
+crosses the same taps, so the passive monitor's direction filtering
+has to discard it.  This generator produces a modest stream of such
+flows purely to keep that code path honest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.campus.population import CampusPopulation
+from repro.net.addr import AddressClass
+from repro.net.packet import PacketRecord, tcp_syn, tcp_synack
+from repro.net.ports import PORT_HTTP, PORT_HTTPS
+from repro.simkernel.clock import SECONDS_PER_DAY
+from repro.simkernel.rng import RngStreams
+from repro.traffic.links import link_for_client
+
+#: External web servers campus users browse.
+_EXTERNAL_WEB_BASE = 0x08_00_00_00  # 8.0.0.0
+
+
+def outbound_noise_stream(
+    population: CampusPopulation,
+    streams: RngStreams,
+    flows_per_day: float,
+    start: float,
+    end: float,
+) -> Iterator[PacketRecord]:
+    """Yield outbound browse flows (SYN out, SYN-ACK back in).
+
+    Sources are live campus hosts (static hosts, for simplicity: they
+    are always attached).  A homogeneous Poisson process is plenty --
+    this stream only needs to *exist*, not be realistic in volume.
+    """
+    if flows_per_day <= 0 or end <= start:
+        return
+    rng = streams.stream("noise.outbound")
+    static_hosts = [
+        h for h in population.hosts.values()
+        if h.address_class is AddressClass.STATIC and h.static_address is not None
+    ]
+    if not static_hosts:
+        return
+    rate = flows_per_day / SECONDS_PER_DAY
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return
+        host = rng.choice(static_hosts)
+        external = _EXTERNAL_WEB_BASE + rng.getrandbits(26)
+        port = PORT_HTTP if rng.random() < 0.7 else PORT_HTTPS
+        sport = 1024 + rng.getrandbits(14)
+        link = link_for_client(external, academic=False)
+        yield tcp_syn(t, host.static_address, external, sport, port, link)
+        yield tcp_synack(t + 0.05, external, host.static_address, port, sport, link)

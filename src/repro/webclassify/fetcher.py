@@ -1,0 +1,73 @@
+"""Fetching root pages from discovered web servers.
+
+"Each web server is contacted within a day of discovery" (paper,
+Section 4.4.1).  A fetch can fail: the host may have gone offline, the
+address may have been handed to another host, or the service may have
+died -- which is how the large "no response" row of Table 5 arises,
+dominated by transient addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.campus.population import CampusPopulation
+from repro.net.packet import PROTO_TCP
+from repro.net.ports import PORT_HTTP
+from repro.simkernel.clock import hours
+from repro.simkernel.rng import RngStreams
+
+
+class FetchOutcome(str, Enum):
+    """What happened when the fetcher contacted a discovered address."""
+
+    PAGE = "page"                  # got the root page
+    NO_RESPONSE = "no_response"    # nothing answered on port 80
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    outcome: FetchOutcome
+    page: str | None
+    fetch_time: float
+
+
+class WebFetcher:
+    """Downloads root pages from the simulated campus.
+
+    The fetcher runs from inside campus (as the paper's did), so it is
+    subject to the same internal-probe firewall handling as the
+    scanner -- with the practical difference that by the time a page is
+    fetched the operator typically allow-lists the monitoring host;
+    we model the fetch as an application-level GET that succeeds
+    whenever a live service holds the address.
+    """
+
+    def __init__(self, population: CampusPopulation, seed: int = 0) -> None:
+        self.population = population
+        self._rng = RngStreams(seed).stream("webfetch")
+
+    def fetch(self, address: int, t: float) -> FetchResult:
+        """GET http://address/ at time *t*."""
+        host = self.population.occupant_host(address, t)
+        if host is None or not host.is_up(t):
+            return FetchResult(FetchOutcome.NO_RESPONSE, None, t)
+        service = host.service_on(PORT_HTTP, PROTO_TCP)
+        if service is None or not service.alive_at(t):
+            return FetchResult(FetchOutcome.NO_RESPONSE, None, t)
+        page = service.web_page if service.web_page is not None else ""
+        return FetchResult(FetchOutcome.PAGE, page, t)
+
+    def fetch_after_discovery(
+        self,
+        address: int,
+        discovered_at: float,
+        max_delay: float = hours(24),
+        min_delay: float = hours(2),
+    ) -> FetchResult:
+        """Fetch within a day of discovery (uniform random delay)."""
+        delay = self._rng.uniform(min_delay, max_delay)
+        fetch_time = min(discovered_at + delay, self.population.duration - 1.0)
+        fetch_time = max(fetch_time, discovered_at)
+        return self.fetch(address, fetch_time)

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Full-scale datasets take tens of seconds to build and replay, so the
+test suite works against small-scale builds (the population synthesiser
+and all analyses are scale-parametric).  Expensive builds are session
+scoped and shared; anything mutating must copy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campus.population import synthesize_population
+from repro.campus.profiles import semester_profile
+from repro.datasets import build_dataset
+from repro.simkernel.clock import days
+
+#: Scale used by most dataset-level tests.
+SMALL_SCALE = 0.04
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    """A small semester population over 18 days."""
+    profile = semester_profile(scale=SMALL_SCALE)
+    return synthesize_population(profile, seed=1234, duration=days(18))
+
+
+@pytest.fixture(scope="session")
+def small_dtcp18(request):
+    """A small-scale DTCP1-18d build (population + scans + trace)."""
+    return build_dataset("DTCP1-18d", seed=7, scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_dtcp18_passive(small_dtcp18):
+    """The small build plus one standard passive replay."""
+    from repro.passive.monitor import PassiveServiceTable
+
+    table = PassiveServiceTable(
+        is_campus=small_dtcp18.is_campus, tcp_ports=small_dtcp18.tcp_ports
+    )
+    small_dtcp18.replay(table)
+    return small_dtcp18, table
+
+
+@pytest.fixture(scope="session")
+def small_dudp():
+    """A small-scale DUDP build."""
+    return build_dataset("DUDP", seed=9, scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def allports_dataset():
+    """The DTCPall build (a /24, cheap even at full scale)."""
+    return build_dataset("DTCPall", seed=5, scale=1.0)

@@ -1,0 +1,204 @@
+"""Tests for the host probe-response state machine."""
+
+import pytest
+
+from repro.campus.host import (
+    FirewallPolicy,
+    FirewallScope,
+    Host,
+    ProbeOutcome,
+    UdpPolicy,
+    UdpProbeOutcome,
+)
+from repro.campus.service import ActivityPattern, Service
+from repro.net.addr import AddressClass
+from repro.net.packet import PROTO_UDP
+
+
+def make_host(**kwargs) -> Host:
+    defaults = dict(
+        host_id=1,
+        category="test",
+        address_class=AddressClass.STATIC,
+        static_address=100,
+        up_windows=[(0.0, 1000.0)],
+    )
+    defaults.update(kwargs)
+    host = Host(**defaults)
+    host.finalize()
+    return host
+
+
+def web_service(host_id=1, **kwargs) -> Service:
+    return Service(host_id=host_id, port=80, **kwargs)
+
+
+class TestLiveness:
+    def test_up_inside_window(self):
+        host = make_host()
+        assert host.is_up(500.0)
+
+    def test_down_outside_window(self):
+        host = make_host()
+        assert not host.is_up(1000.0)
+        assert not host.is_up(-1.0)
+
+    def test_multiple_windows(self):
+        host = make_host(up_windows=[(0, 10), (20, 30)])
+        assert host.is_up(5)
+        assert not host.is_up(15)
+        assert host.is_up(25)
+
+    def test_overlapping_windows_rejected(self):
+        host = Host(
+            host_id=1, category="t", address_class=AddressClass.STATIC,
+            up_windows=[(0, 10), (5, 20)],
+        )
+        with pytest.raises(ValueError):
+            host.finalize()
+
+    def test_empty_window_rejected(self):
+        host = Host(
+            host_id=1, category="t", address_class=AddressClass.STATIC,
+            up_windows=[(5, 5)],
+        )
+        with pytest.raises(ValueError):
+            host.finalize()
+
+    def test_up_windows_clipped(self):
+        host = make_host(up_windows=[(0, 10), (20, 30)])
+        assert host.up_windows_clipped(5, 25) == [(5, 10), (20, 25)]
+
+
+class TestServices:
+    def test_add_and_lookup(self):
+        host = make_host()
+        host.add_service(web_service())
+        assert host.service_on(80) is not None
+        assert host.service_on(22) is None
+
+    def test_duplicate_rejected(self):
+        host = make_host()
+        host.add_service(web_service())
+        with pytest.raises(ValueError):
+            host.add_service(web_service())
+
+    def test_wrong_host_id_rejected(self):
+        host = make_host()
+        with pytest.raises(ValueError):
+            host.add_service(web_service(host_id=99))
+
+
+class TestTcpProbeResponse:
+    def test_open_service_synacks(self):
+        host = make_host()
+        host.add_service(web_service())
+        assert host.tcp_probe_response(80, 10.0, internal=True) is ProbeOutcome.SYNACK
+        assert host.tcp_probe_response(80, 10.0, internal=False) is ProbeOutcome.SYNACK
+
+    def test_closed_port_rsts(self):
+        host = make_host()
+        assert host.tcp_probe_response(22, 10.0, internal=True) is ProbeOutcome.RST
+
+    def test_down_host_silent(self):
+        host = make_host()
+        host.add_service(web_service())
+        assert host.tcp_probe_response(80, 2000.0, internal=True) is ProbeOutcome.NOTHING
+
+    def test_dead_service_rsts(self):
+        host = make_host()
+        host.add_service(web_service(death=100.0, birth=0.0))
+        assert host.tcp_probe_response(80, 200.0, internal=True) is ProbeOutcome.RST
+
+    def test_unborn_service_rsts(self):
+        host = make_host()
+        host.add_service(web_service(birth=500.0))
+        assert host.tcp_probe_response(80, 100.0, internal=True) is ProbeOutcome.RST
+        assert host.tcp_probe_response(80, 600.0, internal=True) is ProbeOutcome.SYNACK
+
+    def test_service_scope_firewall_mixed_signature(self):
+        """The Section 4.2.4 method-1 signature: silence on the service
+        port, RST everywhere else."""
+        host = make_host(firewall=FirewallPolicy(blocks_internal=True))
+        host.add_service(web_service())
+        assert host.tcp_probe_response(80, 1.0, internal=True) is ProbeOutcome.NOTHING
+        assert host.tcp_probe_response(22, 1.0, internal=True) is ProbeOutcome.RST
+        # External probes unaffected by blocks_internal.
+        assert host.tcp_probe_response(80, 1.0, internal=False) is ProbeOutcome.SYNACK
+
+    def test_host_scope_firewall_fully_dark(self):
+        host = make_host(
+            firewall=FirewallPolicy(
+                blocks_internal=True, scope=FirewallScope.HOST
+            )
+        )
+        host.add_service(web_service())
+        assert host.tcp_probe_response(80, 1.0, internal=True) is ProbeOutcome.NOTHING
+        assert host.tcp_probe_response(22, 1.0, internal=True) is ProbeOutcome.NOTHING
+
+    def test_external_blocking(self):
+        host = make_host(firewall=FirewallPolicy(blocks_external=True))
+        host.add_service(web_service())
+        assert host.tcp_probe_response(80, 1.0, internal=False) is ProbeOutcome.NOTHING
+        assert host.tcp_probe_response(80, 1.0, internal=True) is ProbeOutcome.SYNACK
+
+    def test_firewall_effective_from(self):
+        host = make_host(
+            firewall=FirewallPolicy(blocks_internal=True, effective_from=500.0)
+        )
+        host.add_service(web_service())
+        assert host.tcp_probe_response(80, 100.0, internal=True) is ProbeOutcome.SYNACK
+        assert host.tcp_probe_response(80, 600.0, internal=True) is ProbeOutcome.NOTHING
+
+    def test_hidden_mysql_blocks_external_only(self):
+        host = make_host()
+        host.add_service(
+            Service(host_id=1, port=3306, blocks_external_probes=True)
+        )
+        assert host.tcp_probe_response(3306, 1.0, internal=True) is ProbeOutcome.SYNACK
+        assert host.tcp_probe_response(3306, 1.0, internal=False) is ProbeOutcome.NOTHING
+
+
+class TestUdpProbeResponse:
+    def _udp_service(self, responder: bool) -> Service:
+        return Service(
+            host_id=1, port=53, proto=PROTO_UDP,
+            activity=ActivityPattern(base_rate=0.0),
+            udp_generic_responder=responder,
+        )
+
+    def test_responder_replies(self):
+        host = make_host()
+        host.add_service(self._udp_service(responder=True))
+        assert host.udp_probe_response(53, 1.0, internal=True) is UdpProbeOutcome.REPLY
+
+    def test_quiet_open_service_is_silent(self):
+        host = make_host()
+        host.add_service(self._udp_service(responder=False))
+        assert host.udp_probe_response(53, 1.0, internal=True) is UdpProbeOutcome.NOTHING
+
+    def test_closed_port_icmp(self):
+        host = make_host()
+        assert (
+            host.udp_probe_response(137, 1.0, internal=True)
+            is UdpProbeOutcome.ICMP_UNREACHABLE
+        )
+
+    def test_silent_drop_policy(self):
+        host = make_host(udp_policy=UdpPolicy.SILENT_DROP)
+        assert host.udp_probe_response(137, 1.0, internal=True) is UdpProbeOutcome.NOTHING
+
+    def test_down_host_silent(self):
+        host = make_host()
+        assert host.udp_probe_response(53, 5000.0, internal=True) is UdpProbeOutcome.NOTHING
+
+    def test_host_scope_firewall_silent(self):
+        host = make_host(
+            firewall=FirewallPolicy(blocks_external=True, scope=FirewallScope.HOST)
+        )
+        assert host.udp_probe_response(53, 1.0, internal=False) is UdpProbeOutcome.NOTHING
+        # Internal probes still answered.
+        assert (
+            host.udp_probe_response(53, 1.0, internal=True)
+            is UdpProbeOutcome.ICMP_UNREACHABLE
+        )

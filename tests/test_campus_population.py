@@ -1,0 +1,178 @@
+"""Tests for population synthesis."""
+
+import pytest
+
+from repro.campus.categories import BehaviorCategory, semester_category_specs
+from repro.campus.population import (
+    CampusPopulation,
+    attach_udp_population,
+    synthesize_allports_population,
+    synthesize_population,
+)
+from repro.campus.profiles import break_profile, semester_profile
+from repro.net.addr import AddressClass
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.net.ports import PORT_HTTP, SELECTED_TCP_PORTS
+from repro.simkernel.clock import days
+
+
+class TestCategoryTable:
+    def test_counts_match_paper_table4(self):
+        counts = {s.category: s.count for s in semester_category_specs()}
+        assert counts[BehaviorCategory.ACTIVE_POPULAR] == 37
+        assert counts[BehaviorCategory.SEMI_IDLE] == 1247
+        assert counts[BehaviorCategory.INTERMITTENT_IDLE] == 655
+        assert counts[BehaviorCategory.FIREWALL_TRANSIENT] == 140
+        assert sum(counts.values()) == 2960  # the 18-day union
+
+    def test_every_category_has_notes_or_ports(self):
+        for spec in semester_category_specs():
+            assert spec.primary_ports, spec.category
+            total = sum(w for _, w in spec.primary_ports)
+            assert total > 0
+
+
+class TestSynthesis:
+    @pytest.fixture(scope="class")
+    def population(self) -> CampusPopulation:
+        return synthesize_population(
+            semester_profile(scale=0.05), seed=11, duration=days(18)
+        )
+
+    def test_deterministic(self, population):
+        again = synthesize_population(
+            semester_profile(scale=0.05), seed=11, duration=days(18)
+        )
+        assert len(again.hosts) == len(population.hosts)
+        first = population.hosts[0]
+        second = again.hosts[0]
+        assert first.category == second.category
+        assert first.static_address == second.static_address
+        assert set(first.services) == set(second.services)
+
+    def test_seed_changes_population(self, population):
+        other = synthesize_population(
+            semester_profile(scale=0.05), seed=12, duration=days(18)
+        )
+        different = any(
+            population.hosts[h].static_address != other.hosts[h].static_address
+            for h in list(population.hosts)[:50]
+            if other.hosts.get(h) is not None
+        )
+        assert different
+
+    def test_server_count_scales(self, population):
+        servers = sum(1 for h in population.hosts.values() if h.services)
+        # 2,960 at full scale; small-scale roundups inflate slightly.
+        assert 100 <= servers <= 250
+
+    def test_static_hosts_have_addresses_and_full_uptime(self, population):
+        for host in population.hosts.values():
+            if host.address_class is AddressClass.STATIC:
+                assert host.static_address is not None
+                assert host.up_windows == [(0.0, days(18))]
+
+    def test_transient_hosts_have_sessions_not_addresses(self, population):
+        transient = [h for h in population.hosts.values() if h.is_transient]
+        assert transient
+        for host in transient:
+            assert host.static_address is None
+            assert host.up_windows
+
+    def test_services_on_selected_ports_only(self, population):
+        for _, service in population.services():
+            if service.proto == PROTO_TCP:
+                assert service.port in SELECTED_TCP_PORTS
+
+    def test_web_services_have_pages(self, population):
+        web = [
+            s for _, s in population.services()
+            if s.port == PORT_HTTP and s.proto == PROTO_TCP
+        ]
+        assert web
+        for service in web:
+            assert service.web_category is not None
+            assert service.web_page
+
+    def test_addresses_unique_per_time(self, population):
+        # The ledger guarantees disjoint tenures; spot-check occupancy.
+        for host in list(population.hosts.values())[:40]:
+            if host.static_address is not None:
+                assert population.occupant_host(host.static_address, 100.0) is host
+
+    def test_ground_truth_endpoints_nonempty(self, population):
+        endpoints = population.ground_truth_endpoints()
+        assert endpoints
+        for address, port in endpoints:
+            assert port in SELECTED_TCP_PORTS
+
+    def test_popular_rate_dominates(self, population):
+        rates = {}
+        for host, service in population.services():
+            rates.setdefault(host.category, 0.0)
+            rates[host.category] += service.activity.base_rate
+        popular = rates.get(BehaviorCategory.ACTIVE_POPULAR.value, 0.0)
+        others = sum(v for k, v in rates.items()
+                     if k != BehaviorCategory.ACTIVE_POPULAR.value)
+        # At small scales the popular pool shrinks with the population
+        # while per-host tail rates stay fixed, so the margin narrows;
+        # full scale gives ~100x.
+        assert popular > others * 5
+
+
+class TestBreakProfile:
+    def test_transients_collapse(self):
+        semester = semester_profile(scale=0.2)
+        winter = break_profile(scale=0.2)
+        def transient_total(profile):
+            return sum(
+                spec.count for spec in profile.category_specs
+                if sum(w for cls, w in spec.address_classes
+                       if cls in ("dhcp", "ppp", "vpn", "wireless")) > 0.5
+            )
+        assert transient_total(winter) < transient_total(semester) * 0.5
+
+    def test_static_servers_stay(self):
+        semester = semester_profile(scale=0.2)
+        winter = break_profile(scale=0.2)
+        sem_static = {s.category: s.count for s in semester.category_specs}
+        win_static = {s.category: s.count for s in winter.category_specs}
+        assert win_static[BehaviorCategory.SEMI_IDLE] == sem_static[BehaviorCategory.SEMI_IDLE]
+
+
+class TestAllportsPopulation:
+    def test_build(self):
+        population = synthesize_allports_population(seed=3, duration=days(10))
+        assert len(population.hosts) == 250
+        ports = {s.port for _, s in population.services()}
+        assert 22 in ports and 135 in ports and 80 in ports
+
+    def test_dominant_server_rate(self):
+        population = synthesize_allports_population(seed=3, duration=days(10))
+        rates = sorted(
+            (s.activity.base_rate for _, s in population.services()), reverse=True
+        )
+        assert rates[0] > 0.9 * sum(rates)
+
+    def test_six_late_web_births(self):
+        population = synthesize_allports_population(seed=3, duration=days(10))
+        births = [
+            s for _, s in population.services()
+            if s.port == PORT_HTTP and s.birth > 0
+        ]
+        assert len(births) == 6
+
+
+class TestUdpAttachment:
+    def test_attach_counts(self):
+        profile = semester_profile(scale=0.3)
+        population = synthesize_population(profile, seed=2, duration=days(1))
+        attach_udp_population(population, seed=2, scale=0.3)
+        udp = [s for _, s in population.services() if s.proto == PROTO_UDP]
+        assert udp
+        responders = [s for s in udp if s.udp_generic_responder]
+        silent = [s for s in udp if not s.udp_generic_responder]
+        assert responders and silent
+        # NetBIOS dominates the silent-open population.
+        netbios = [s for s in silent if s.port == 137]
+        assert len(netbios) > len(silent) * 0.5

@@ -1,0 +1,72 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DTCP1-18d", "DTCPbreak", "DUDP", "DTCPall"):
+            assert name in out
+
+
+class TestSurveyCommand:
+    def test_tcp_survey(self, capsys):
+        assert main(["survey", "DTCP1-18d", "--scale", "0.03", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Passive AND Active" in out
+        assert "scans" in out
+
+    def test_udp_survey(self, capsys):
+        assert main(["survey", "DUDP", "--scale", "0.05", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Total servers found" in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["survey", "DTCP-bogus"])
+
+
+class TestRecordAndStats:
+    def test_record_then_stats(self, tmp_path, capsys):
+        trace = tmp_path / "t.rprt"
+        assert main([
+            "record", "DTCP1-18d", str(trace),
+            "--scale", "0.03", "--seed", "4", "--days", "1",
+        ]) == 0
+        recorded = capsys.readouterr().out
+        assert "wrote" in recorded
+        assert trace.exists() and trace.stat().st_size > 16
+
+        assert main(["trace-stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "protocol tcp" in out
+        assert "tcp syn" in out
+        assert "Top campus responders" in out
+
+    def test_record_anonymized(self, tmp_path, capsys):
+        trace = tmp_path / "anon.rprt"
+        assert main([
+            "record", "DTCP1-18d", str(trace),
+            "--scale", "0.03", "--seed", "4", "--days", "0.5",
+            "--anonymize-key", "42",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "anonymised" in out
+        # Stats still work on the anonymised trace (campus preserved).
+        assert main(["trace-stats", str(trace)]) == 0
+        stats = capsys.readouterr().out
+        assert "protocol tcp" in stats
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

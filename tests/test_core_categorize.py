@@ -1,0 +1,167 @@
+"""Tests for the Table 3/4 classification decision tables."""
+
+import pytest
+
+from repro.core.categorize import (
+    LateEvidence,
+    ObservationVector,
+    T3_ACTIVE_SERVER,
+    T3_FIREWALLED_OR_BIRTH,
+    T3_IDLE_SERVER,
+    T3_NON_SERVER,
+    T4_ACTIVE,
+    T4_BIRTH,
+    T4_BIRTH_IDLE,
+    T4_BIRTH_MOSTLY_IDLE,
+    T4_DEATH,
+    T4_IDLE,
+    T4_IDLE_INTERMITTENT,
+    T4_INTERMITTENT_ACTIVE,
+    T4_INTERMITTENT_FW,
+    T4_INTERMITTENT_IDLE,
+    T4_INTERMITTENT_PASSIVE,
+    T4_LATE_BIRTH,
+    T4_MOSTLY_IDLE,
+    T4_NON_SERVER,
+    T4_POSSIBLE_FIREWALL,
+    T4_POSSIBLE_FW_BIRTH,
+    T4_POSSIBLE_FW_INTERMITTENT,
+    T4_SEMI_IDLE,
+    T4_SERVER_DEATH,
+    categorize_extended_with_evidence,
+    categorize_initial,
+    classify_vector,
+    confirm_firewalls,
+)
+from repro.core.timeline import DiscoveryTimeline
+
+
+class TestTable3:
+    def test_all_four_cells(self):
+        categories = categorize_initial(
+            addresses=[1, 2, 3, 4],
+            passive_12h={1, 3},
+            active_first={1, 2},
+        )
+        assert categories[T3_ACTIVE_SERVER] == {1}
+        assert categories[T3_IDLE_SERVER] == {2}
+        assert categories[T3_FIREWALLED_OR_BIRTH] == {3}
+        assert categories[T3_NON_SERVER] == {4}
+
+    def test_partition_is_total(self):
+        addresses = list(range(100))
+        categories = categorize_initial(addresses, {5, 6}, {6, 7})
+        assert sum(len(v) for v in categories.values()) == 100
+
+
+class TestClassifyVector:
+    """One case per Table 4 row, observation bits straight from the paper."""
+
+    @pytest.mark.parametrize(
+        "pe,ae,pl,al,transient,expected",
+        [
+            (True, True, True, True, False, T4_ACTIVE),
+            (True, True, False, False, False, T4_SERVER_DEATH),
+            (True, True, True, False, False, T4_INTERMITTENT_FW),
+            (True, True, False, True, False, T4_MOSTLY_IDLE),
+            (False, True, False, False, True, T4_IDLE_INTERMITTENT),
+            (False, True, True, True, False, T4_SEMI_IDLE),
+            (False, True, False, False, False, T4_IDLE),
+            (True, False, False, False, True, T4_INTERMITTENT_PASSIVE),
+            (True, False, True, True, False, T4_BIRTH),
+            (True, False, True, False, False, T4_POSSIBLE_FIREWALL),
+            (True, False, False, False, False, T4_DEATH),
+            (True, False, False, True, False, T4_BIRTH_MOSTLY_IDLE),
+            (False, False, False, False, False, T4_NON_SERVER),
+            (False, False, True, True, True, T4_INTERMITTENT_ACTIVE),
+            (False, False, True, True, False, T4_LATE_BIRTH),
+            (False, False, False, True, True, T4_INTERMITTENT_IDLE),
+            (False, False, False, True, False, T4_BIRTH_IDLE),
+            (False, False, True, False, True, T4_POSSIBLE_FW_INTERMITTENT),
+            (False, False, True, False, False, T4_POSSIBLE_FW_BIRTH),
+        ],
+    )
+    def test_rows(self, pe, ae, pl, al, transient, expected):
+        vector = ObservationVector(
+            passive_early=pe, active_early=ae,
+            passive_late=pl, active_late=al, transient=transient,
+        )
+        assert classify_vector(vector) == expected
+
+    def test_every_vector_classified(self):
+        """All 32 observation combinations map to some label."""
+        for bits in range(32):
+            vector = ObservationVector(
+                passive_early=bool(bits & 1),
+                active_early=bool(bits & 2),
+                passive_late=bool(bits & 4),
+                active_late=bool(bits & 8),
+                transient=bool(bits & 16),
+            )
+            assert classify_vector(vector)
+
+
+class TestCategorizeExtended:
+    def test_with_evidence(self):
+        passive = DiscoveryTimeline.from_mapping({1: 100.0, 2: 50_000.0})
+        categories = categorize_extended_with_evidence(
+            addresses=[1, 2, 3],
+            passive_timeline=passive,
+            passive_late_evidence=LateEvidence(addresses={1, 2}),
+            active_first_scan={1},
+            active_later_scans={1, 3},
+            is_transient=lambda a: False,
+            early_cutoff=43_200.0,
+        )
+        assert 1 in categories[T4_ACTIVE]
+        assert 2 in categories[T4_POSSIBLE_FW_BIRTH]
+        assert 3 in categories[T4_BIRTH_IDLE]
+
+    def test_partition_total(self):
+        passive = DiscoveryTimeline.from_mapping({1: 10.0})
+        categories = categorize_extended_with_evidence(
+            addresses=range(50),
+            passive_timeline=passive,
+            passive_late_evidence=LateEvidence(addresses=set()),
+            active_first_scan=set(),
+            active_later_scans=set(),
+            is_transient=lambda a: a % 2 == 0,
+            early_cutoff=100.0,
+        )
+        assert sum(len(v) for v in categories.values()) == 50
+
+
+class TestConfirmFirewalls:
+    def _report(self, mixed=(), responding=(), opens=()):
+        from repro.active.results import ScanReport
+
+        report = ScanReport(scan_id=0, start=0.0, end=100.0, ports=(80,))
+        report.mixed_response_addresses = set(mixed)
+        report.responding_addresses = set(responding)
+        report.opens = [(1.0, a, 80) for a in opens]
+        return report
+
+    def test_method1(self):
+        result = confirm_firewalls({5, 6}, [self._report(mixed={5})])
+        assert result["method1"] == {5}
+        assert result["unconfirmed"] == {6}
+
+    def test_method2(self):
+        report = self._report(responding={7})
+        # Address 5 silent during scan 0 but passively active in it.
+        result = confirm_firewalls(
+            {5}, [report], passive_activity_windows={5: {0}}
+        )
+        assert result["method2"] == {5}
+        assert result["either"] == {5}
+
+    def test_method2_requires_silence(self):
+        report = self._report(responding={5})
+        result = confirm_firewalls(
+            {5}, [report], passive_activity_windows={5: {0}}
+        )
+        assert result["method2"] == set()
+
+    def test_method2_disabled_without_windows(self):
+        result = confirm_firewalls({5}, [self._report()])
+        assert result["method2"] == set()

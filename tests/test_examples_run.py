@@ -1,0 +1,48 @@
+"""The examples must stay runnable: execute each at a tiny scale.
+
+Examples are user-facing documentation; a bit-rotted example is worse
+than none.  Each is run in-process (main() with patched argv) so
+failures produce real tracebacks rather than subprocess noise.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs(self, name, monkeypatch, capsys):
+        module = _load(name)
+        monkeypatch.setattr(
+            sys, "argv", [name, "--scale", "0.03", "--seed", "2"]
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 200, f"{name} produced almost no output"
+
+    def test_quickstart_reports_both_methods(self, monkeypatch, capsys):
+        module = _load("quickstart.py")
+        monkeypatch.setattr(sys, "argv", ["quickstart", "--scale", "0.03"])
+        module.main()
+        out = capsys.readouterr().out
+        assert "Passive AND Active" in out
+        assert "first 12 hours" in out
+        assert "full 18 days" in out

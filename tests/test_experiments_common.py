@@ -1,0 +1,104 @@
+"""Tests for the experiment-layer shared machinery."""
+
+import pytest
+
+from repro.core.timeline import DiscoveryTimeline
+from repro.experiments.common import (
+    ExperimentResult,
+    clear_caches,
+    endpoints_for_port,
+    get_context,
+    get_dataset,
+    percent,
+)
+
+SCALE = 0.03
+SEED = 77
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestCaches:
+    def test_dataset_cached(self):
+        a = get_dataset("DTCPall", SEED, 1.0)
+        b = get_dataset("DTCPall", SEED, 1.0)
+        assert a is b
+
+    def test_seed_keys_cache(self):
+        a = get_dataset("DTCPall", SEED, 1.0)
+        b = get_dataset("DTCPall", SEED + 1, 1.0)
+        assert a is not b
+
+    def test_context_cached_and_complete(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        assert context is get_context("DTCPall", SEED, 1.0)
+        assert context.records_replayed > 0
+        assert context.table.first_seen
+        assert context.link_monitor.total_servers()
+
+    def test_clear_caches(self):
+        first = get_context("DTCPall", SEED, 1.0)
+        clear_caches()
+        assert first is not get_context("DTCPall", SEED, 1.0)
+
+
+class TestContextViews:
+    def test_timelines_consistent(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        endpoint_count = len(context.passive_endpoint_timeline())
+        address_count = len(context.passive_address_timeline())
+        assert 0 < address_count <= endpoint_count
+        assert context.passive_addresses() == context.passive_address_timeline().items()
+
+    def test_active_views(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        endpoints = context.active_endpoint_timeline()
+        addresses = context.active_address_timeline()
+        assert {a for a, _ in endpoints.items()} == addresses.items()
+        assert context.active_addresses() == addresses.items()
+
+    def test_weights(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        flows = context.flow_weights_by_address()
+        clients = context.client_weights_by_address()
+        assert flows and clients
+        assert set(clients) == set(flows)
+        assert all(v > 0 for v in flows.values())
+
+    def test_union(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        union = context.union_addresses()
+        assert union >= context.passive_addresses()
+        assert union >= context.active_addresses()
+
+
+class TestHelpers:
+    def test_percent(self):
+        assert percent(1, 4) == 25.0
+        assert percent(5, 0) == 0.0
+
+    def test_endpoints_for_port(self):
+        timeline = DiscoveryTimeline.from_mapping(
+            {(1, 80, 6): 0.0, (2, 22, 6): 1.0, (3, 80): 2.0}
+        )
+        assert endpoints_for_port(timeline, 80) == {1, 3}
+        assert endpoints_for_port(timeline, 443) == set()
+
+
+class TestExperimentResult:
+    def test_render_includes_notes(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="X marks the spot",
+            body="body text",
+            notes=["a caveat"],
+        )
+        rendered = result.render()
+        assert "## X marks the spot" in rendered
+        assert "- a caveat" in rendered
+        assert "body text" in rendered

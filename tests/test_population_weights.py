@@ -1,0 +1,64 @@
+"""Property tests for popularity-weight realisation."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.campus.categories import RateKind, RateSpec
+from repro.campus.population import _popularity_weights
+
+
+class TestPopularityWeights:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.3, max_value=2.5),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_property_normalised(self, count, exponent, uniform_mix):
+        rate = RateSpec(
+            kind=RateKind.ZIPF, exponent=exponent, uniform_mix=uniform_mix
+        )
+        weights = _popularity_weights(count, rate)
+        assert len(weights) == count
+        assert all(w > 0 for w in weights)
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+
+    @given(st.integers(min_value=6, max_value=100))
+    def test_property_explicit_shares_honoured(self, count):
+        rate = RateSpec(
+            kind=RateKind.ZIPF,
+            exponent=1.0,
+            shares=(0.5, 0.2, 0.1),
+        )
+        weights = _popularity_weights(count, rate)
+        assert weights[0] == 0.5
+        assert weights[1] == 0.2
+        assert weights[2] == 0.1
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+
+    def test_share_truncation_renormalises(self):
+        rate = RateSpec(kind=RateKind.ZIPF, shares=(0.6, 0.3, 0.1))
+        weights = _popularity_weights(2, rate)
+        assert len(weights) == 2
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+        assert weights[0] > weights[1]
+
+    def test_uniform_mix_raises_floor(self):
+        plain = _popularity_weights(
+            37, RateSpec(kind=RateKind.ZIPF, exponent=1.5)
+        )
+        mixed = _popularity_weights(
+            37, RateSpec(kind=RateKind.ZIPF, exponent=1.5, uniform_mix=0.15)
+        )
+        # The mix lifts the tail (smallest weight) while keeping the
+        # head dominant.
+        assert min(mixed) > min(plain)
+        assert mixed[0] < plain[0]
+        assert mixed[0] > 5 * mixed[-1]
+
+    @given(st.integers(min_value=2, max_value=120))
+    def test_property_monotone_nonincreasing(self, count):
+        weights = _popularity_weights(
+            count, RateSpec(kind=RateKind.ZIPF, exponent=1.2, uniform_mix=0.1)
+        )
+        assert all(a >= b for a, b in zip(weights, weights[1:]))

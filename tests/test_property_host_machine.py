@@ -1,0 +1,154 @@
+"""Property-based tests on the host probe-response state machine.
+
+The state machine is the single point both discovery methods resolve
+against, so its invariants carry the whole reproduction:
+
+* responses are deterministic in (host state, port, time, source);
+* a SYN-ACK implies a live service on a live host;
+* firewall scopes only ever *remove* information, never invent it.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campus.host import (
+    FirewallPolicy,
+    FirewallScope,
+    Host,
+    ProbeOutcome,
+)
+from repro.campus.service import ActivityPattern, Service
+from repro.net.addr import AddressClass
+
+PORTS = (21, 22, 80, 443, 3306)
+
+
+@st.composite
+def host_configs(draw):
+    """Random but valid host configurations."""
+    up_windows = []
+    cursor = 0.0
+    for _ in range(draw(st.integers(0, 3))):
+        start = cursor + draw(st.floats(0.0, 100.0))
+        length = draw(st.floats(1.0, 500.0))
+        up_windows.append((start, start + length))
+        cursor = start + length
+    service_ports = draw(st.sets(st.sampled_from(PORTS), max_size=3))
+    firewall = FirewallPolicy(
+        blocks_internal=draw(st.booleans()),
+        blocks_external=draw(st.booleans()),
+        effective_from=draw(st.floats(0.0, 500.0)),
+        scope=draw(st.sampled_from(list(FirewallScope))),
+    )
+    host = Host(
+        host_id=0,
+        category="prop",
+        address_class=AddressClass.STATIC,
+        static_address=1,
+        up_windows=up_windows,
+        firewall=firewall,
+    )
+    host.finalize()
+    for port in service_ports:
+        birth = draw(st.floats(0.0, 400.0))
+        death = (
+            birth + draw(st.floats(1.0, 400.0))
+            if draw(st.booleans())
+            else None
+        )
+        host.add_service(
+            Service(
+                host_id=0,
+                port=port,
+                activity=ActivityPattern(base_rate=0.0),
+                birth=birth,
+                death=death,
+                blocks_external_probes=draw(st.booleans()),
+            )
+        )
+    return host
+
+
+@given(
+    host_configs(),
+    st.sampled_from(PORTS),
+    st.floats(0.0, 1200.0),
+    st.booleans(),
+)
+@settings(max_examples=300, deadline=None)
+def test_probe_deterministic(host, port, t, internal):
+    first = host.tcp_probe_response(port, t, internal)
+    second = host.tcp_probe_response(port, t, internal)
+    assert first is second
+
+
+@given(
+    host_configs(),
+    st.sampled_from(PORTS),
+    st.floats(0.0, 1200.0),
+    st.booleans(),
+)
+@settings(max_examples=300, deadline=None)
+def test_synack_implies_live_service_on_live_host(host, port, t, internal):
+    outcome = host.tcp_probe_response(port, t, internal)
+    if outcome is ProbeOutcome.SYNACK:
+        assert host.is_up(t)
+        service = host.service_on(port)
+        assert service is not None and service.alive_at(t)
+
+
+@given(
+    host_configs(),
+    st.sampled_from(PORTS),
+    st.floats(0.0, 1200.0),
+    st.booleans(),
+)
+@settings(max_examples=300, deadline=None)
+def test_any_response_implies_host_up(host, port, t, internal):
+    outcome = host.tcp_probe_response(port, t, internal)
+    if outcome is not ProbeOutcome.NOTHING:
+        assert host.is_up(t)
+
+
+@given(
+    host_configs(),
+    st.sampled_from(PORTS),
+    st.floats(0.0, 1200.0),
+    st.booleans(),
+)
+@settings(max_examples=300, deadline=None)
+def test_firewall_never_fabricates_openness(host, port, t, internal):
+    """An open firewall reveals at least as much as any firewall: if a
+    probe through the real policy got SYN-ACK, the same probe with the
+    firewall removed must also get SYN-ACK."""
+    outcome = host.tcp_probe_response(port, t, internal)
+    open_host = Host(
+        host_id=0,
+        category="prop",
+        address_class=AddressClass.STATIC,
+        static_address=1,
+        up_windows=list(host.up_windows),
+        firewall=FirewallPolicy.open(),
+    )
+    open_host.finalize()
+    for (sport, proto), service in host.services.items():
+        open_host.add_service(
+            Service(
+                host_id=0, port=sport, proto=proto,
+                activity=service.activity, birth=service.birth,
+                death=service.death, blocks_external_probes=False,
+            )
+        )
+    unfiltered = open_host.tcp_probe_response(port, t, internal)
+    if outcome is ProbeOutcome.SYNACK:
+        assert unfiltered is ProbeOutcome.SYNACK
+
+
+@given(host_configs(), st.floats(0.0, 1200.0))
+@settings(max_examples=200, deadline=None)
+def test_udp_outcomes_valid(host, t):
+    rng = random.Random(0)
+    for port in (53, 137):
+        outcome = host.udp_probe_response(port, t, internal=rng.random() < 0.5)
+        assert outcome.value in ("reply", "icmp", "nothing")

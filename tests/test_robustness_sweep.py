@@ -1,0 +1,81 @@
+"""Tests for the seed-sweep robustness harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.robustness import (
+    MetricSpread,
+    SweepResult,
+    main,
+    seed_sweep,
+    sweep_report,
+)
+
+
+class TestMetricSpread:
+    def test_statistics(self):
+        spread = MetricSpread(name="m", values=(1.0, 2.0, 3.0))
+        assert spread.mean == 2.0
+        assert spread.stdev == pytest.approx(1.0)
+        assert spread.minimum == 1.0
+        assert spread.maximum == 3.0
+        assert spread.cv == pytest.approx(0.5)
+
+    def test_single_value(self):
+        spread = MetricSpread(name="m", values=(5.0,))
+        assert spread.mean == 5.0
+        assert spread.stdev == 0.0
+        assert spread.cv == 0.0
+
+    def test_infinities_excluded_from_mean(self):
+        spread = MetricSpread(name="m", values=(1.0, float("inf"), 3.0))
+        assert spread.mean == 2.0
+
+    def test_zero_mean_cv(self):
+        spread = MetricSpread(name="m", values=(0.0, 0.0))
+        assert spread.cv == 0.0
+
+
+class TestSeedSweep:
+    def test_sweep_table1(self):
+        result = seed_sweep("table1", seeds=(1, 2), scale=0.03)
+        assert result.experiment_id == "table1"
+        assert result.seeds == (1, 2)
+        spread = result.spreads["dataset_count"]
+        assert spread.values == (8.0, 8.0)
+        assert spread.cv == 0.0
+        assert result.paper_values["dataset_count"] == 8.0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            seed_sweep("table99", seeds=(1,))
+
+    def test_empty_seeds(self):
+        with pytest.raises(ValueError):
+            seed_sweep("table1", seeds=())
+
+    def test_unstable_metrics_flagging(self):
+        result = SweepResult(
+            experiment_id="x",
+            seeds=(1, 2),
+            scale=1.0,
+            spreads={
+                "steady": MetricSpread("steady", (10.0, 10.5)),
+                "wild": MetricSpread("wild", (1.0, 9.0)),
+            },
+        )
+        assert result.unstable_metrics() == ["wild"]
+
+    def test_report_renders(self):
+        result = seed_sweep("table1", seeds=(1, 2), scale=0.03)
+        text = sweep_report(result)
+        assert "Seed sweep: table1" in text
+        assert "dataset_count" in text
+        assert "| Metric" in text
+
+    def test_cli(self, capsys):
+        code = main(["table1", "--seeds", "2", "--scale", "0.03"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Seed sweep: table1" in out

@@ -1,0 +1,74 @@
+"""Seed-robustness: headline shapes must not be one-seed flukes.
+
+Runs the cheap invariants across several seeds at small scale.  Any
+shape that only holds for a lucky seed is a calibration bug waiting to
+surface in the full-scale benchmarks.
+"""
+
+import pytest
+
+from repro.active.results import union_open_endpoints
+from repro.datasets import build_dataset
+from repro.passive.monitor import PassiveServiceTable
+from repro.passive.scandetect import ExternalScanDetector
+from repro.simkernel.clock import hours
+
+SEEDS = (11, 29, 47)
+SCALE = 0.04
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_run(request):
+    dataset = build_dataset("DTCP1-18d", seed=request.param, scale=SCALE)
+    table = PassiveServiceTable(
+        is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports
+    )
+    detector = ExternalScanDetector(is_campus=dataset.is_campus)
+    dataset.replay(table, detector)
+    return dataset, table, detector
+
+
+class TestSeedRobustShapes:
+    def test_active_more_complete(self, seeded_run):
+        dataset, table, _ = seeded_run
+        active = {a for a, _ in union_open_endpoints(dataset.scan_reports)}
+        passive = table.server_addresses()
+        assert len(active) > len(passive)
+
+    def test_first_scan_dominates_12h(self, seeded_run):
+        dataset, table, _ = seeded_run
+        passive_12h = {
+            a for (a, _, _), t in table.first_seen.items() if t < hours(12)
+        }
+        first = dataset.scan_reports[0].open_addresses()
+        union = passive_12h | first
+        assert len(first) / len(union) > 0.80
+
+    def test_passive_only_exists(self, seeded_run):
+        dataset, table, _ = seeded_run
+        active = {a for a, _ in union_open_endpoints(dataset.scan_reports)}
+        assert table.server_addresses() - active
+
+    def test_no_false_scanner_flags(self, seeded_run):
+        dataset, _, detector = seeded_run
+        actual = dataset.mix.scan_plan.scanner_addresses()
+        assert detector.scanners() <= actual
+        assert detector.scanners()
+
+    def test_popular_coverage_early(self, seeded_run):
+        _, table, _ = seeded_run
+        flows: dict[int, int] = {}
+        for (a, _, _), c in table.flow_counts.items():
+            flows[a] = flows.get(a, 0) + c
+        total = sum(flows.values())
+        early = {
+            a for (a, _, _), t in table.first_seen.items() if t < hours(1)
+        }
+        covered = sum(flows.get(a, 0) for a in early)
+        assert covered / total > 0.70
+
+    def test_no_phantom_services(self, seeded_run):
+        dataset, table, _ = seeded_run
+        truth = dataset.population.ground_truth_endpoints()
+        for address, port, _ in table.endpoints():
+            assert (address, port) in truth

@@ -1,0 +1,184 @@
+"""Tests for the trace format and anonymiser."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import parse_ipv4
+from repro.net.packet import (
+    PROTO_TCP,
+    PacketRecord,
+    TcpFlags,
+    icmp_port_unreachable,
+    tcp_syn,
+    tcp_synack,
+    udp_datagram,
+)
+from repro.trace.anonymize import Anonymizer, _feistel
+from repro.trace.format import (
+    TraceReader,
+    TraceWriter,
+    read_trace,
+    trace_bytes,
+    write_trace,
+)
+
+
+def sample_records():
+    return [
+        tcp_syn(1.0, parse_ipv4("16.0.0.1"), parse_ipv4("128.125.1.1"), 40000, 80, "commercial1"),
+        tcp_synack(1.05, parse_ipv4("128.125.1.1"), parse_ipv4("16.0.0.1"), 80, 40000, "commercial2"),
+        udp_datagram(2.0, parse_ipv4("128.125.2.2"), parse_ipv4("16.0.0.2"), 53, 5353, "internet2"),
+        icmp_port_unreachable(3.0, parse_ipv4("128.125.2.3"), parse_ipv4("16.0.0.3"), 40001, 137),
+    ]
+
+
+class TestTraceFormat:
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "capture.rprt"
+        count = write_trace(path, sample_records())
+        assert count == 4
+        assert read_trace(path) == sample_records()
+
+    def test_declared_count(self, tmp_path):
+        path = tmp_path / "capture.rprt"
+        write_trace(path, sample_records())
+        with TraceReader.open(path) as reader:
+            assert reader.declared_count == 4
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReader(io.BytesIO(b"XXXX" + b"\x00" * 12))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReader(io.BytesIO(b"RP"))
+
+    def test_truncated_record_rejected(self):
+        data = trace_bytes(sample_records())
+        reader = TraceReader(io.BytesIO(data[:-5]))
+        with pytest.raises(ValueError):
+            list(reader)
+
+    def test_unknown_link_rejected(self):
+        record = tcp_syn(0.0, 1, 2, 3, 4, "weird-link")
+        writer = TraceWriter(io.BytesIO())
+        with pytest.raises(ValueError):
+            writer.write(record)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rprt"
+        assert write_trace(path, []) == 0
+        assert read_trace(path) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e7, allow_nan=False),
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=65535),
+                st.integers(min_value=0, max_value=65535),
+                st.sampled_from([TcpFlags.SYN, TcpFlags.SYN | TcpFlags.ACK, TcpFlags.RST, TcpFlags.ACK]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_property_roundtrip(self, rows):
+        records = [
+            PacketRecord(time=t, src=s, dst=d, sport=sp, dport=dp,
+                         proto=PROTO_TCP, flags=flags)
+            for t, s, d, sp, dp, flags in rows
+        ]
+        assert list(TraceReader(io.BytesIO(trace_bytes(records)))) == records
+
+
+class TestFeistel:
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=2**31))
+    def test_property_invertible(self, bits, seed):
+        import random
+
+        rng = random.Random(seed)
+        value = rng.getrandbits(bits)
+        encrypted = _feistel(value, bits, key=seed)
+        assert 0 <= encrypted < 2**bits
+        assert _feistel(encrypted, bits, key=seed, decrypt=True) == value
+
+    def test_bijective_small_domain(self):
+        images = {_feistel(v, 8, key=5) for v in range(256)}
+        assert len(images) == 256
+
+
+class TestAnonymizer:
+    def test_campus_stays_campus(self):
+        anonymizer = Anonymizer(key=42)
+        address = parse_ipv4("128.125.7.9")
+        masked = anonymizer.anonymize_address(address)
+        assert masked >> 16 == address >> 16
+        assert masked != address
+
+    def test_campus_invertible(self):
+        anonymizer = Anonymizer(key=42)
+        address = parse_ipv4("128.125.200.1")
+        masked = anonymizer.anonymize_address(address)
+        assert anonymizer.deanonymize_campus_address(masked) == address
+
+    def test_external_leaves_campus_prefix(self):
+        anonymizer = Anonymizer(key=42)
+        for i in range(500):
+            masked = anonymizer.anonymize_address(parse_ipv4("16.0.0.0") + i)
+            assert masked >> 16 != parse_ipv4("128.125.0.0") >> 16
+
+    def test_campus_bijective(self):
+        anonymizer = Anonymizer(key=7)
+        base = parse_ipv4("128.125.0.0")
+        images = {anonymizer.anonymize_address(base + i) for i in range(2000)}
+        assert len(images) == 2000
+
+    def test_deterministic(self):
+        a = Anonymizer(key=9).anonymize_address(parse_ipv4("128.125.3.3"))
+        b = Anonymizer(key=9).anonymize_address(parse_ipv4("128.125.3.3"))
+        assert a == b
+
+    def test_key_matters(self):
+        address = parse_ipv4("128.125.3.3")
+        assert (
+            Anonymizer(key=1).anonymize_address(address)
+            != Anonymizer(key=2).anonymize_address(address)
+        )
+
+    def test_record_ports_and_flags_untouched(self):
+        anonymizer = Anonymizer(key=3)
+        record = sample_records()[1]
+        masked = anonymizer.anonymize(record)
+        assert masked.sport == record.sport
+        assert masked.dport == record.dport
+        assert masked.flags == record.flags
+        assert masked.time == record.time
+        assert masked.link == record.link
+        assert masked.src != record.src
+
+    def test_deanonymize_external_rejected(self):
+        anonymizer = Anonymizer(key=3)
+        with pytest.raises(ValueError):
+            anonymizer.deanonymize_campus_address(parse_ipv4("16.0.0.1"))
+
+    def test_analysis_invariant_under_anonymization(self):
+        """Direction filtering gives identical results on anonymised
+        traces -- the property the paper's methodology depends on."""
+        from repro.passive.monitor import PassiveServiceTable
+
+        anonymizer = Anonymizer(key=11)
+        campus_prefix = parse_ipv4("128.125.0.0") >> 16
+
+        def is_campus(address):
+            return address >> 16 == campus_prefix
+
+        plain = PassiveServiceTable(is_campus=is_campus, tcp_ports=frozenset({80}))
+        masked = PassiveServiceTable(is_campus=is_campus, tcp_ports=frozenset({80}))
+        for record in sample_records():
+            plain.observe(record)
+            masked.observe(anonymizer.anonymize(record))
+        assert len(plain.endpoints()) == len(masked.endpoints())

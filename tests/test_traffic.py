@@ -1,0 +1,218 @@
+"""Tests for the traffic generators."""
+
+import pytest
+
+from repro.campus.host import Host
+from repro.campus.population import synthesize_population
+from repro.campus.profiles import semester_profile
+from repro.campus.service import ActivityPattern, Service
+from repro.net.addr import AddressClass, parse_ipv4
+from repro.net.packet import PROTO_TCP
+from repro.simkernel.clock import Calendar, days, hours
+from repro.simkernel.rng import RngStreams
+from repro.traffic.clients import (
+    ClientDirectory,
+    client_flow_stream,
+    service_flow_stream,
+)
+from repro.traffic.generator import TrafficMix, border_packet_stream, default_diurnal
+from repro.traffic.links import (
+    LINK_COMMERCIAL1,
+    LINK_COMMERCIAL2,
+    LINK_INTERNET2,
+    is_academic_client,
+    link_for_client,
+    link_for_scanner,
+)
+from repro.traffic.noise import outbound_noise_stream
+from repro.traffic.scans import ScanSweep, build_scan_plan, sweep_packet_stream
+
+
+def quiet_host(address=None, rate=0.01, windows=None, port=80) -> Host:
+    host = Host(
+        host_id=0,
+        category="test",
+        address_class=AddressClass.STATIC,
+        static_address=address or parse_ipv4("128.125.64.10"),
+        up_windows=[(0.0, days(10))],
+    )
+    host.finalize()
+    host.add_service(
+        Service(
+            host_id=0,
+            port=port,
+            activity=ActivityPattern(base_rate=rate, windows=windows, client_pool=5),
+        )
+    )
+    return host
+
+
+class TestLinks:
+    def test_academic_clients_use_internet2(self):
+        address = parse_ipv4("171.64.1.1")
+        assert link_for_client(address, academic=True) == LINK_INTERNET2
+
+    def test_commercial_split_deterministic(self):
+        address = parse_ipv4("17.1.2.3")
+        first = link_for_client(address, academic=False)
+        assert first == link_for_client(address, academic=False)
+        assert first in (LINK_COMMERCIAL1, LINK_COMMERCIAL2)
+
+    def test_commercial_split_roughly_62_38(self):
+        base = parse_ipv4("16.0.0.0")
+        links = [link_for_client(base + i, False) for i in range(4000)]
+        share = links.count(LINK_COMMERCIAL1) / len(links)
+        assert 0.57 <= share <= 0.67
+
+    def test_academic_fraction_statistics(self):
+        base = parse_ipv4("16.0.0.0")
+        count = sum(
+            1 for i in range(4000) if is_academic_client(base + i, 0.25)
+        )
+        assert 0.20 <= count / 4000 <= 0.30
+
+    def test_scanners_never_internet2(self):
+        base = parse_ipv4("198.0.0.0")
+        assert all(
+            link_for_scanner(base + i) != LINK_INTERNET2 for i in range(500)
+        )
+
+
+class TestServiceFlowStream:
+    def _stream(self, host, start=0.0, end=days(5)):
+        streams = RngStreams(1)
+        directory = ClientDirectory(streams)
+        service = host.services[(80, PROTO_TCP)]
+        return list(
+            service_flow_stream(host, service, directory, streams, None, start, end)
+        )
+
+    def test_flows_sorted_in_range(self):
+        flows = self._stream(quiet_host(rate=0.001))
+        assert flows == sorted(flows, key=lambda f: f.time)
+        assert all(0.0 <= f.time < days(5) for f in flows)
+
+    def test_rate_controls_volume(self):
+        few = self._stream(quiet_host(rate=0.0001))
+        many = self._stream(quiet_host(rate=0.003))
+        assert len(many) > len(few) * 3
+
+    def test_silent_service_emits_nothing(self):
+        assert self._stream(quiet_host(rate=0.0)) == []
+
+    def test_activity_windows_respected(self):
+        windows = ((hours(1), hours(3)),)
+        flows = self._stream(quiet_host(rate=0.01, windows=windows))
+        assert flows
+        assert all(hours(1) <= f.time < hours(3) for f in flows)
+
+    def test_host_downtime_gates_flows(self):
+        host = quiet_host(rate=0.01)
+        host.up_windows = [(hours(2), hours(4))]
+        host.finalize()
+        flows = self._stream(host)
+        assert flows
+        assert all(hours(2) <= f.time < hours(4) for f in flows)
+
+    def test_clients_come_from_pool(self):
+        flows = self._stream(quiet_host(rate=0.005))
+        clients = {f.client for f in flows}
+        assert 1 <= len(clients) <= 5
+
+    def test_deterministic(self):
+        first = [(f.time, f.client) for f in self._stream(quiet_host())]
+        second = [(f.time, f.client) for f in self._stream(quiet_host())]
+        assert first == second
+
+
+class TestScans:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return synthesize_population(
+            semester_profile(scale=0.05), seed=21, duration=days(18)
+        )
+
+    def test_plan_determinism(self, population):
+        profile = semester_profile(scale=0.05)
+        plan1 = build_scan_plan(profile.scan_climate, RngStreams(5), days(18))
+        plan2 = build_scan_plan(profile.scan_climate, RngStreams(5), days(18))
+        assert plan1 == plan2
+
+    def test_plan_has_major_sweeps(self, population):
+        profile = semester_profile(scale=0.05)
+        plan = build_scan_plan(profile.scan_climate, RngStreams(5), days(18))
+        full = [s for s in plan.sweeps if s.coverage >= 0.9]
+        assert len(full) >= 5
+
+    def test_sweep_packets(self, population):
+        sweep = ScanSweep(
+            scanner=parse_ipv4("198.51.100.7"),
+            port=80,
+            start=hours(10),
+            rate=200.0,
+            coverage=1.0,
+            link=LINK_COMMERCIAL1,
+        )
+        packets = list(
+            sweep_packet_stream(population, sweep, RngStreams(9), days(18))
+        )
+        syns = [p for p in packets if p.flags.is_syn]
+        synacks = [p for p in packets if p.flags.is_synack]
+        rsts = [p for p in packets if p.flags.is_rst]
+        assert len(syns) == population.topology.space.size
+        assert synacks, "a full web sweep must reveal some servers"
+        assert rsts, "live non-servers must reset"
+        # Responses attribute to the scanned address.
+        for packet in synacks:
+            assert packet.dst == sweep.scanner
+            assert packet.sport == 80
+
+    def test_sweep_respects_end(self, population):
+        sweep = ScanSweep(
+            scanner=parse_ipv4("198.51.100.7"),
+            port=80,
+            start=0.0,
+            rate=1.0,  # 16k addresses would take hours
+            coverage=1.0,
+            link=LINK_COMMERCIAL1,
+        )
+        packets = list(
+            sweep_packet_stream(population, sweep, RngStreams(9), end=100.0)
+        )
+        assert all(p.time < 100.0 + 1.0 for p in packets)
+        assert len(packets) < 300
+
+
+class TestNoiseAndMix:
+    def test_outbound_noise_shape(self):
+        population = synthesize_population(
+            semester_profile(scale=0.05), seed=2, duration=days(2)
+        )
+        packets = list(
+            outbound_noise_stream(population, RngStreams(3), 200.0, 0.0, days(2))
+        )
+        assert packets
+        for packet in packets:
+            inside_src = population.topology.contains(packet.src)
+            inside_dst = population.topology.contains(packet.dst)
+            # browse flows: SYN out (campus src) or SYN-ACK back in.
+            assert inside_src != inside_dst
+
+    def test_border_stream_deterministic(self):
+        population = synthesize_population(
+            semester_profile(scale=0.03), seed=2, duration=days(1)
+        )
+        mix = TrafficMix.quiet()
+        first = [
+            (p.time, p.src, p.dst)
+            for p in border_packet_stream(population, mix, 7, 0.0, days(1))
+        ]
+        second = [
+            (p.time, p.src, p.dst)
+            for p in border_packet_stream(population, mix, 7, 0.0, days(1))
+        ]
+        assert first == second
+
+    def test_diurnal_default(self):
+        profile = default_diurnal(Calendar())
+        assert profile.factor(hours(5)) > profile.factor(hours(17))

@@ -1,0 +1,90 @@
+"""Tests for the web fetcher against simulated populations."""
+
+import pytest
+
+from repro.campus.host import Host
+from repro.campus.population import CampusPopulation
+from repro.campus.service import ActivityPattern, Service
+from repro.campus.churn import build_ledger
+from repro.campus.topology import build_allports_topology
+from repro.net.addr import AddressClass
+from repro.simkernel.clock import days, hours
+from repro.webclassify.fetcher import FetchOutcome, WebFetcher
+
+
+def tiny_population(web_birth=0.0, web_death=None, up_windows=None):
+    topology = build_allports_topology()
+    block = topology.space.blocks[0]
+    address = block.at(0)
+    host = Host(
+        host_id=0,
+        category="t",
+        address_class=AddressClass.STATIC,
+        static_address=address,
+        up_windows=up_windows or [(0.0, days(10))],
+    )
+    host.finalize()
+    host.add_service(
+        Service(
+            host_id=0, port=80,
+            activity=ActivityPattern(base_rate=0.0),
+            birth=web_birth, death=web_death,
+            web_category="custom", web_page="<html>hi there world</html>",
+        )
+    )
+    ledger = build_ledger([(address, 0)], [], days(10))
+    population = CampusPopulation(
+        topology=topology, hosts={0: host}, ledger=ledger,
+        duration=days(10), profile_name="tiny", seed=0,
+    )
+    return population, address
+
+
+class TestWebFetcher:
+    def test_fetch_live_service(self):
+        population, address = tiny_population()
+        fetcher = WebFetcher(population)
+        result = fetcher.fetch(address, hours(5))
+        assert result.outcome is FetchOutcome.PAGE
+        assert "hi there" in result.page
+
+    def test_fetch_unassigned_address(self):
+        population, address = tiny_population()
+        fetcher = WebFetcher(population)
+        result = fetcher.fetch(address + 1, hours(5))
+        assert result.outcome is FetchOutcome.NO_RESPONSE
+
+    def test_fetch_down_host(self):
+        population, address = tiny_population(up_windows=[(0.0, hours(1))])
+        fetcher = WebFetcher(population)
+        assert fetcher.fetch(address, hours(5)).outcome is FetchOutcome.NO_RESPONSE
+
+    def test_fetch_dead_service(self):
+        population, address = tiny_population(web_death=hours(2))
+        fetcher = WebFetcher(population)
+        assert fetcher.fetch(address, hours(5)).outcome is FetchOutcome.NO_RESPONSE
+
+    def test_fetch_unborn_service(self):
+        population, address = tiny_population(web_birth=hours(10))
+        fetcher = WebFetcher(population)
+        assert fetcher.fetch(address, hours(5)).outcome is FetchOutcome.NO_RESPONSE
+        assert fetcher.fetch(address, hours(11)).outcome is FetchOutcome.PAGE
+
+    def test_fetch_after_discovery_within_a_day(self):
+        population, address = tiny_population()
+        fetcher = WebFetcher(population, seed=4)
+        result = fetcher.fetch_after_discovery(address, discovered_at=hours(10))
+        assert result.outcome is FetchOutcome.PAGE
+        assert hours(10) <= result.fetch_time <= hours(34)
+
+    def test_fetch_near_dataset_end_clamped(self):
+        population, address = tiny_population()
+        fetcher = WebFetcher(population, seed=4)
+        result = fetcher.fetch_after_discovery(address, discovered_at=days(10) - 60)
+        assert result.fetch_time <= days(10)
+
+    def test_deterministic_given_seed(self):
+        population, address = tiny_population()
+        a = WebFetcher(population, seed=4).fetch_after_discovery(address, hours(1))
+        b = WebFetcher(population, seed=4).fetch_after_discovery(address, hours(1))
+        assert a.fetch_time == b.fetch_time
