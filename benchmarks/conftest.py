@@ -43,10 +43,15 @@ def run_and_report(benchmark, experiment_name: str, seed: int, scale: float):
 
     The first call builds datasets and replays traces (excluded from
     timing by running it before ``benchmark``); the measured call hits
-    the caches and times the experiment's own analysis.
+    the caches and times the experiment's own analysis.  The trace
+    passes behind the warm-up are served by the record-once trace cache
+    (``REPRO_TRACE_CACHE``); its hit/miss/throughput counters are
+    recorded in ``extra_info`` alongside the experiment metrics.
     """
     from repro.experiments.runner import run_experiment
+    from repro.trace.cache import replay_stats_snapshot
 
+    stats_before = replay_stats_snapshot()
     warm = run_experiment(experiment_name, seed, scale)
 
     result = benchmark.pedantic(
@@ -55,8 +60,16 @@ def run_and_report(benchmark, experiment_name: str, seed: int, scale: float):
         rounds=1,
         iterations=1,
     )
+    stats_after = replay_stats_snapshot()
     benchmark.extra_info.update(
         {key: round(value, 3) for key, value in result.metrics.items()}
+    )
+    seconds = stats_after.replay_seconds - stats_before.replay_seconds
+    records = stats_after.records_replayed - stats_before.records_replayed
+    benchmark.extra_info.update(
+        trace_cache_hits=stats_after.hits - stats_before.hits,
+        trace_cache_misses=stats_after.misses - stats_before.misses,
+        replay_records_per_sec=round(records / seconds, 1) if seconds > 0 else 0.0,
     )
     print()
     print(result.render())

@@ -17,6 +17,8 @@ boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable
 
 from repro.net.addr import AddressBlock, AddressClass, AddressSpace, parse_cidr
 
@@ -110,11 +112,31 @@ class CampusTopology:
     def blocks_of_class(self, address_class: AddressClass) -> list[AddressBlock]:
         return self.space.blocks_of_class(address_class)
 
-    def contains(self, address: int) -> bool:
-        """True when *address* is inside the monitored campus prefix."""
+    @cached_property
+    def _prefix_network_mask(self) -> tuple[int, int]:
+        """Parsed ``(network, mask)`` of the campus prefix (hot path)."""
         network, prefix = parse_cidr(self.campus_prefix)
         mask = ~((1 << (32 - prefix)) - 1) & 0xFFFFFFFF
+        return network, mask
+
+    def contains(self, address: int) -> bool:
+        """True when *address* is inside the monitored campus prefix."""
+        network, mask = self._prefix_network_mask
         return (address & mask) == network
+
+    def campus_predicate(self) -> "Callable[[int], bool]":
+        """A closure form of :meth:`contains` for per-packet filters.
+
+        Observers call the campus-membership test one to three times per
+        captured record; the closure binds the network/mask as locals
+        and skips the attribute walk of a bound method.
+        """
+        network, mask = self._prefix_network_mask
+
+        def is_campus(address: int) -> bool:
+            return (address & mask) == network
+
+        return is_campus
 
 
 def build_topology(include_allports_subnet: bool = False) -> CampusTopology:

@@ -13,11 +13,15 @@ Operational entry points over the library:
 ``trace-stats FILE``
     Summarise a recorded trace (record counts, protocol mix, top
     campus responders).
+``cache``
+    Show the record-once trace cache (location, entries, sizes);
+    ``--clear`` empties it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections import Counter
 
@@ -150,6 +154,33 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.trace.cache import ENV_VAR, default_trace_cache
+
+    cache = default_trace_cache()
+    if not cache.enabled:
+        print(f"trace cache disabled ({ENV_VAR}={os.environ.get(ENV_VAR)})")
+        return 0
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached trace(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    table = TextTable(
+        title=f"Trace cache {cache.root}: {len(entries)} entr"
+              f"{'y' if len(entries) == 1 else 'ies'}",
+        headers=["Trace", "Size"],
+    )
+    total = 0
+    for path in entries:
+        size = path.stat().st_size
+        total += size
+        table.add_row(path.name, f"{size / 1e6:,.1f} MB")
+    table.add_row("total", f"{total / 1e6:,.1f} MB")
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -178,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("file")
     stats.add_argument("--campus", default="128.125.0.0/16")
     stats.add_argument("--top", type=int, default=10)
+
+    cache = commands.add_parser("cache", help="show the record-once trace cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="remove every cached trace")
     return parser
 
 
@@ -189,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
         "survey": cmd_survey,
         "record": cmd_record,
         "trace-stats": cmd_trace_stats,
+        "cache": cmd_cache,
     }
     try:
         return handlers[args.command](args)

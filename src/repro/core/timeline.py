@@ -19,6 +19,11 @@ class DiscoveryTimeline:
     """First-seen times for a set of discovered items."""
 
     first_seen: dict[Item, float] = field(default_factory=dict)
+    #: Lazy port -> addresses index over tuple items; rebuilt after any
+    #: :meth:`record` (it is the only mutator).
+    _port_index: dict[int, set[int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[Item, float]) -> "DiscoveryTimeline":
@@ -37,6 +42,7 @@ class DiscoveryTimeline:
         previous = self.first_seen.get(item)
         if previous is None or t < previous:
             self.first_seen[item] = t
+            self._port_index = None
 
     def merge(self, other: "DiscoveryTimeline") -> "DiscoveryTimeline":
         """Earliest-of-both timeline (e.g. passive-union-active)."""
@@ -74,6 +80,22 @@ class DiscoveryTimeline:
         """Number of items discovered at or before time *t*."""
         times = self.sorted_times()
         return bisect.bisect_right(times, t)
+
+    def addresses_for_port(self, port: int) -> set[int]:
+        """Addresses whose ``(address, port[, proto])`` item was found.
+
+        The per-port experiments (Tables 5 and 6) ask this once per
+        watched port; the timeline is indexed by port on the first call
+        instead of re-scanning every item per query.
+        """
+        index = self._port_index
+        if index is None:
+            index = {}
+            for item in self.first_seen:
+                if isinstance(item, tuple) and len(item) >= 2:
+                    index.setdefault(item[1], set()).add(item[0])
+            self._port_index = index
+        return set(index.get(port, ()))
 
     def addresses(self) -> "DiscoveryTimeline":
         """Collapse endpoint items ``(address, ...)`` to address level.

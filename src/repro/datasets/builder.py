@@ -13,7 +13,8 @@ replay time so any number of observers can share one pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from functools import cached_property
+from typing import Callable, Iterator
 
 from repro.active.prober import HalfOpenScanner, ScannerConfig
 from repro.active.results import ScanReport, UdpScanReport
@@ -37,7 +38,14 @@ from repro.net.packet import PacketRecord
 from repro.net.ports import SELECTED_TCP_PORTS, SELECTED_UDP_PORTS
 from repro.simkernel.clock import Calendar, hours
 from repro.simkernel.rng import RngStreams, derive_seed
-from repro.traffic.generator import TrafficMix, border_packet_stream, default_diurnal
+from repro.trace.cache import default_trace_cache
+from repro.trace.format import TraceWriter, read_records_chunked
+from repro.traffic.generator import (
+    GENERATOR_VERSION,
+    TrafficMix,
+    border_packet_stream,
+    default_diurnal,
+)
 from repro.traffic.scans import build_scan_plan
 
 #: Sweep length of one full active scan; the paper reports 90-120
@@ -77,6 +85,8 @@ class BuiltDataset:
     scan_reports: list[ScanReport] = field(default_factory=list)
     udp_report: UdpScanReport | None = None
     scale: float = 1.0
+    #: Master seed the build derived everything from (trace-cache key).
+    seed: int = 0
 
     @property
     def duration(self) -> float:
@@ -97,11 +107,29 @@ class BuiltDataset:
             return frozenset(SELECTED_UDP_PORTS)
         return frozenset()
 
-    def is_campus(self, address: int) -> bool:
-        return self.population.topology.contains(address)
+    @cached_property
+    def is_campus(self) -> Callable[[int], bool]:
+        """Campus-membership predicate (``dataset.is_campus(addr)``).
 
-    def packet_stream(self, end: float | None = None) -> Iterator[PacketRecord]:
-        """A fresh pass over the border capture (deterministic)."""
+        A cached closure rather than a bound method: observers call it
+        up to three times per captured record, so the prefix match is
+        bound into locals once instead of walking
+        ``population.topology`` per call.
+        """
+        return self.population.topology.campus_predicate()
+
+    @property
+    def trace_cache_key(self) -> tuple[str, int, str, int]:
+        """Content address of this build's border trace.
+
+        ``(name, seed, scale, generator version)`` -- everything the
+        generated stream is a pure function of.  The scale is keyed by
+        ``repr`` so 0.1 and 0.10 alias but distinct floats never do.
+        """
+        return (self.spec.name, self.seed, repr(self.scale), GENERATOR_VERSION)
+
+    def _generate_stream(self, end: float | None = None) -> Iterator[PacketRecord]:
+        """Regenerate the border capture from the traffic model."""
         return border_packet_stream(
             self.population,
             self.mix,
@@ -110,11 +138,78 @@ class BuiltDataset:
             end=self.duration if end is None else end,
         )
 
+    def _full_pass(self, end: float | None) -> bool:
+        return end is None or end >= self.duration
+
+    def packet_stream(self, end: float | None = None) -> Iterator[PacketRecord]:
+        """One pass over the border capture (deterministic).
+
+        Full-duration passes are served from the record-once trace
+        cache when a recording exists; partial passes and cache misses
+        regenerate the stream.  Either way the records are identical.
+        """
+        if self._full_pass(end):
+            cached = default_trace_cache().lookup(self.trace_cache_key)
+            if cached is not None:
+                return (
+                    record
+                    for batch in read_records_chunked(cached)
+                    for record in batch
+                )
+        return self._generate_stream(end)
+
     def replay(self, *observers, end: float | None = None) -> int:
-        """Feed one fresh pass into *observers*; return the record count."""
+        """Feed one pass into *observers*; return the record count.
+
+        Record-once/analyze-many: the first full-duration replay
+        generates the traffic, spilling it through the trace writer
+        into the cache while the observers consume it; every later
+        full-duration replay streams the stored trace back through the
+        batched reader (:func:`repro.passive.monitor.replay_batched`).
+        Partial replays (``end`` before the dataset end) always
+        regenerate -- truncated generation is not a prefix of the full
+        stream.  Observer results are identical on every path.
+        """
+        from repro.passive.monitor import replay as _replay, replay_batched
+        from time import perf_counter
+
+        cache = default_trace_cache()
+        started = perf_counter()
+        if cache.enabled and self._full_pass(end):
+            cached = cache.lookup(self.trace_cache_key)
+            if cached is not None:
+                count = replay_batched(read_records_chunked(cached), *observers)
+            else:
+                count = self._replay_and_record(cache, observers)
+        else:
+            count = _replay(self._generate_stream(end), *observers)
+        cache.stats.note_replay(count, perf_counter() - started)
+        return count
+
+    def _replay_and_record(self, cache, observers) -> int:
+        """First full pass: tee the generated stream into the cache."""
         from repro.passive.monitor import replay as _replay
 
-        return _replay(self.packet_stream(end), *observers)
+        try:
+            pending = cache.begin_write(self.trace_cache_key)
+        except OSError:
+            # Unwritable cache directory: serve the pass without recording.
+            return _replay(self._generate_stream(), *observers)
+        try:
+            with TraceWriter.open(pending.tmp_path) as writer:
+                write = writer.write
+
+                def tee() -> Iterator[PacketRecord]:
+                    for record in self._generate_stream():
+                        write(record)
+                        yield record
+
+                count = _replay(tee(), *observers)
+            pending.commit()
+        except BaseException:
+            pending.abort()
+            raise
+        return count
 
     def scan_windows(self) -> list[tuple[float, float]]:
         """(start, end) of every active scan, in order."""
@@ -204,6 +299,7 @@ def build_dataset(name: str, seed: int = 0, scale: float = 1.0) -> BuiltDataset:
         mix=mix,
         traffic_seed=derive_seed(seed, f"traffic.{spec.name}"),
         scale=scale,
+        seed=seed,
     )
     _run_active_scans(dataset)
     return dataset

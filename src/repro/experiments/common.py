@@ -3,7 +3,12 @@
 Building a full-scale dataset takes seconds and replaying its trace
 takes tens of seconds, so datasets and standard analyses are cached
 per ``(name, seed, scale)`` within the process; the whole experiment
-suite then costs a handful of trace passes rather than twenty.
+suite then costs a handful of trace passes rather than twenty.  The
+passes themselves follow the paper's record-once/analyze-many shape:
+``BuiltDataset.replay`` records the generated border traffic into the
+on-disk trace cache on first use (see :mod:`repro.trace.cache`), so the
+second passes here (scanner removal, sampling) stream the stored trace
+instead of regenerating the traffic.
 """
 
 from __future__ import annotations
@@ -174,8 +179,21 @@ def get_context(name: str, seed: int = 0, scale: float = 1.0) -> AnalysisContext
     return context
 
 
-_SCANLESS_TABLES: dict[int, PassiveServiceTable] = {}
-_SAMPLED_TABLES: dict[tuple[int, tuple[float, ...]], dict[float, PassiveServiceTable]] = {}
+#: Key identifying one built dataset/context: ``(name, seed, scale)``.
+#: Never key these caches by ``id(context)`` -- CPython reuses ids after
+#: garbage collection, which would silently serve a stale table built
+#: for a different context.
+_ContextKey = tuple[str, int, float]
+
+_SCANLESS_TABLES: dict[_ContextKey, PassiveServiceTable] = {}
+_SAMPLED_TABLES: dict[
+    tuple[_ContextKey, tuple[float, ...]], dict[float, PassiveServiceTable]
+] = {}
+
+
+def _context_key(context: AnalysisContext) -> _ContextKey:
+    dataset = context.dataset
+    return (dataset.spec.name, dataset.seed, dataset.scale)
 
 
 def passive_table_without_scanners(
@@ -184,10 +202,11 @@ def passive_table_without_scanners(
     """Second pass: passive table with detected scanners filtered out.
 
     Implements Section 4.3's removal: every conversation involving a
-    source the detector flagged is ignored.  Cached per context: the
-    pass over a full-scale trace costs tens of seconds.
+    source the detector flagged is ignored.  Cached per
+    ``(name, seed, scale)``; the pass itself is served from the
+    record-once trace cache rather than regenerated.
     """
-    cache_key = id(context)
+    cache_key = _context_key(context)
     cached = _SCANLESS_TABLES.get(cache_key)
     if cached is not None:
         return cached
@@ -210,7 +229,7 @@ def sampled_tables(
     """Second pass: passive tables under fixed-period samplers (cached)."""
     from repro.passive.sampling import FixedPeriodSampler
 
-    cache_key = (id(context), tuple(sample_minutes))
+    cache_key = (_context_key(context), tuple(sample_minutes))
     cached = _SAMPLED_TABLES.get(cache_key)
     if cached is not None:
         return cached
@@ -233,12 +252,13 @@ def sampled_tables(
 def endpoints_for_port(
     timeline: DiscoveryTimeline, port: int
 ) -> set[int]:
-    """Addresses whose (address, port[, proto]) endpoint was discovered."""
-    out: set[int] = set()
-    for item in timeline.first_seen:
-        if isinstance(item, tuple) and len(item) >= 2 and item[1] == port:
-            out.add(item[0])
-    return out
+    """Addresses whose (address, port[, proto]) endpoint was discovered.
+
+    Delegates to the timeline's lazily built per-port index, so
+    repeated per-port queries (Tables 5/6 ask for every watched port)
+    cost one scan of the timeline rather than one per call.
+    """
+    return timeline.addresses_for_port(port)
 
 
 @dataclass

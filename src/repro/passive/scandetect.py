@@ -87,6 +87,34 @@ class ExternalScanDetector:
                 return
             self._note(self._rst_sources, (record.dst, window), record.src)
 
+    def observe_batch(self, records: list[PacketRecord]) -> None:
+        """Batched :meth:`observe`: identical results, hoisted lookups.
+
+        Flag classification uses raw integer bit tests (``SYN`` set and
+        ``ACK`` clear; ``RST`` set) -- the same predicates as
+        ``TcpFlags.is_syn`` / ``is_rst`` without per-record property
+        dispatch.
+        """
+        window_seconds = self.config.window_seconds
+        is_campus = self.is_campus
+        targets = self._targets
+        rst_sources = self._rst_sources
+        note = self._note
+        for record in records:
+            if record.proto != PROTO_TCP:
+                continue
+            flags = record.flags._value_
+            if flags & 0x02 and not flags & 0x10:  # SYN without ACK
+                if is_campus(record.src) or not is_campus(record.dst):
+                    continue
+                window = int(record.time // window_seconds)
+                note(targets, (record.src, window), record.dst)
+            elif flags & 0x04:  # RST
+                if not is_campus(record.src) or is_campus(record.dst):
+                    continue
+                window = int(record.time // window_seconds)
+                note(rst_sources, (record.dst, window), record.src)
+
     def scanners(self) -> set[int]:
         """External sources satisfying both thresholds in some window."""
         return self.scanners_with(self.config.min_targets, self.config.min_rsts)

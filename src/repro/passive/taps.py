@@ -46,6 +46,9 @@ class LinkTap:
     def observe(self, record: PacketRecord) -> None:
         self.table.observe(record)
 
+    def observe_batch(self, records: list[PacketRecord]) -> None:
+        self.table.observe_batch(records)
+
 
 class MultiLinkMonitor:
     """Several link taps plus a combined all-links table, in one pass."""
@@ -73,6 +76,13 @@ class MultiLinkMonitor:
         tap = self.taps.get(record.link)
         if tap is not None:
             tap.observe(record)
+
+    def observe_batch(self, records: list[PacketRecord]) -> None:
+        """Batched :meth:`observe`: each table filters by link itself,
+        so handing every tap the whole batch gives identical results."""
+        self.combined.observe_batch(records)
+        for tap in self.taps.values():
+            tap.observe_batch(records)
 
     # ---- Table 8 queries --------------------------------------------
 

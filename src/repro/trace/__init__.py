@@ -5,19 +5,33 @@ published datasets are anonymised.  This package provides the same
 pipeline for our simulated captures:
 
 * :mod:`repro.trace.format` -- a compact binary record format with a
-  streaming writer/reader;
+  streaming writer/reader and a batched chunk reader;
 * :mod:`repro.trace.anonymize` -- deterministic, prefix-preserving
   address anonymisation (campus addresses stay campus addresses, so
-  every analysis still works on anonymised traces).
+  every analysis still works on anonymised traces);
+* :mod:`repro.trace.cache` -- the record-once trace cache that lets a
+  dataset's border traffic be generated once and replayed many times.
 """
 
 from repro.trace.anonymize import Anonymizer
-from repro.trace.format import TraceReader, TraceWriter, read_trace, write_trace
+from repro.trace.cache import TraceCache, default_trace_cache
+from repro.trace.format import (
+    TraceReader,
+    TraceWriter,
+    read_records_chunked,
+    read_trace,
+    trace_is_intact,
+    write_trace,
+)
 
 __all__ = [
     "Anonymizer",
+    "TraceCache",
     "TraceReader",
     "TraceWriter",
+    "default_trace_cache",
+    "read_records_chunked",
     "read_trace",
+    "trace_is_intact",
     "write_trace",
 ]

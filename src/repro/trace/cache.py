@@ -1,0 +1,212 @@
+"""Record-once trace cache.
+
+The paper's LANDER methodology is record-once/analyze-many: headers
+were captured to disk once and every analysis ran offline over the
+stored trace.  :class:`TraceCache` gives our synthetic captures the
+same shape.  The first full-duration replay of a dataset spills its
+border traffic through the binary trace writer into an on-disk cache;
+every later replay streams the stored records back through the batched
+reader instead of regenerating the traffic.
+
+Cache entries are content-addressed by ``(dataset name, seed, scale,
+generator version)`` plus the on-disk format version, so a change to
+either the traffic generator or the record layout invalidates old
+entries without any bookkeeping.  Writes go to a temporary file in the
+cache directory and are published with an atomic rename, so concurrent
+builders (e.g. ``runner --jobs N`` workers) can race on the same key
+safely -- both produce identical bytes and the last rename wins.
+
+Environment knobs::
+
+    REPRO_TRACE_CACHE=/path/to/dir   relocate the cache
+    REPRO_TRACE_CACHE=off            disable caching entirely
+                                     (also: none / disabled / 0)
+
+The default location is ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Environment variable overriding the cache directory (or disabling it).
+ENV_VAR = "REPRO_TRACE_CACHE"
+
+_DISABLED_VALUES = frozenset({"off", "none", "disabled", "0"})
+
+#: Bump when the on-disk trace layout or the cache keying changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Cache entry suffix (same format as ``python -m repro record`` output).
+TRACE_SUFFIX = ".rprt"
+
+
+@dataclass
+class TraceCacheStats:
+    """Counters for one process's trace-cache traffic.
+
+    ``records_replayed`` / ``replay_seconds`` accumulate over every
+    :meth:`repro.datasets.builder.BuiltDataset.replay` call (cached or
+    generated), so ``records_per_sec`` is the realised replay
+    throughput of the process so far.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    records_replayed: int = 0
+    replay_seconds: float = 0.0
+
+    @property
+    def records_per_sec(self) -> float:
+        if self.replay_seconds <= 0:
+            return 0.0
+        return self.records_replayed / self.replay_seconds
+
+    def note_replay(self, records: int, seconds: float) -> None:
+        self.records_replayed += records
+        self.replay_seconds += seconds
+
+    def snapshot(self) -> "TraceCacheStats":
+        return dataclasses.replace(self)
+
+
+@dataclass
+class PendingTrace:
+    """An in-progress cache write: fill ``tmp_path``, then commit.
+
+    The temporary file lives next to the final path so the rename is
+    atomic (same filesystem).  ``abort`` removes the partial file; an
+    uncommitted pending trace never becomes visible to readers.
+    """
+
+    tmp_path: Path
+    final_path: Path
+
+    def commit(self) -> Path:
+        os.replace(self.tmp_path, self.final_path)
+        return self.final_path
+
+    def abort(self) -> None:
+        try:
+            self.tmp_path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@dataclass
+class TraceCache:
+    """Content-addressed store of recorded border traces.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    enabled:
+        When False every lookup misses and nothing is written; replay
+        falls back to fresh generation (the tests' default-off mode).
+    """
+
+    root: Path = field(default_factory=lambda: Path.home() / ".cache" / "repro")
+    enabled: bool = True
+    stats: TraceCacheStats = field(default_factory=TraceCacheStats)
+
+    @classmethod
+    def from_env(cls) -> "TraceCache":
+        """Build a cache per the ``REPRO_TRACE_CACHE`` environment knob."""
+        value = os.environ.get(ENV_VAR)
+        if value is not None and value.strip().lower() in _DISABLED_VALUES:
+            return cls(enabled=False)
+        if value:
+            return cls(root=Path(value).expanduser())
+        return cls()
+
+    def path_for(self, key: tuple) -> Path:
+        """The cache path a key maps to (whether or not it exists)."""
+        digest = hashlib.sha256(
+            repr((CACHE_FORMAT_VERSION,) + tuple(key)).encode("utf-8")
+        ).hexdigest()
+        stem = str(key[0]) if key else "trace"
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in stem)
+        return self.root / f"{safe}-{digest[:16]}{TRACE_SUFFIX}"
+
+    def lookup(self, key: tuple) -> Path | None:
+        """Return the stored trace for *key*, counting a hit or miss.
+
+        A damaged entry (bad header, or size not matching the record
+        count the writer stamped on close) is removed and reported as a
+        miss, so replay regenerates and re-records rather than feeding
+        observers a partial stream.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        if path.is_file():
+            from repro.trace.format import trace_is_intact
+
+            if trace_is_intact(path):
+                self.stats.hits += 1
+                return path
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self.stats.misses += 1
+        return None
+
+    def begin_write(self, key: tuple) -> PendingTrace:
+        """Open an atomic write for *key* (write tmp, then ``commit``)."""
+        final = self.path_for(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_name(f"{final.name}.tmp.{os.getpid()}")
+        return PendingTrace(tmp_path=tmp, final_path=final)
+
+    def entries(self) -> list[Path]:
+        """All stored traces, largest first."""
+        if not self.root.is_dir():
+            return []
+        found = [p for p in self.root.glob(f"*{TRACE_SUFFIX}") if p.is_file()]
+        return sorted(found, key=lambda p: p.stat().st_size, reverse=True)
+
+    def clear(self) -> int:
+        """Remove every stored trace; return how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+
+_default: TraceCache | None = None
+_default_env: str | None = None
+
+
+def default_trace_cache() -> TraceCache:
+    """The process-wide cache configured from the environment.
+
+    Re-reads ``REPRO_TRACE_CACHE`` on every call so tests can repoint
+    or disable the cache with ``monkeypatch.setenv``; the instance (and
+    its stats) is only rebuilt when the variable actually changes.
+    """
+    global _default, _default_env
+    value = os.environ.get(ENV_VAR)
+    if _default is None or value != _default_env:
+        _default = TraceCache.from_env()
+        _default_env = value
+    return _default
+
+
+def replay_stats() -> TraceCacheStats:
+    """Live counters of the default cache (mutated by replays)."""
+    return default_trace_cache().stats
+
+
+def replay_stats_snapshot() -> TraceCacheStats:
+    """An immutable copy of the current counters (for deltas)."""
+    return replay_stats().snapshot()

@@ -22,6 +22,12 @@ from repro.traffic.clients import client_flow_stream
 from repro.traffic.noise import outbound_noise_stream
 from repro.traffic.scans import ScanPlan, scan_packet_stream
 
+#: Version stamp of the generated stream.  Bump whenever a change makes
+#: :func:`border_packet_stream` emit different records for the same
+#: ``(population, mix, seed)`` -- it keys the record-once trace cache,
+#: so stale recordings are invalidated automatically.
+GENERATOR_VERSION = 1
+
 
 @dataclass(frozen=True)
 class TrafficMix:

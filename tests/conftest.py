@@ -8,7 +8,17 @@ scoped and shared; anything mutating must copy.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import pytest
+
+# Exercise the record-once trace cache on every dataset replay, but in
+# a throwaway directory: the suite must not read or pollute the user's
+# ~/.cache/repro.  Respect an explicit override (e.g. CI's warm run).
+os.environ.setdefault(
+    "REPRO_TRACE_CACHE", tempfile.mkdtemp(prefix="repro-trace-cache-")
+)
 
 from repro.campus.population import synthesize_population
 from repro.campus.profiles import semester_profile

@@ -62,6 +62,34 @@ class TestRecordAndStats:
         assert "protocol tcp" in stats
 
 
+class TestCacheCommand:
+    def test_lists_entries(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        # Populate the cache by running a survey (first replay tees).
+        main(["survey", "DTCPall", "--scale", "1.0", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry" in out
+        assert "DTCPall-" in out
+        assert "MB" in out
+
+    def test_clear(self, monkeypatch, tmp_path, capsys):
+        from repro.trace.cache import default_trace_cache
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        main(["survey", "DTCPall", "--scale", "1.0", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert default_trace_cache().entries() == []
+
+    def test_disabled(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert main(["cache"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

@@ -117,3 +117,24 @@ class TestDiscoveryRate:
     def test_bad_window(self):
         with pytest.raises(ValueError):
             discovery_rate(DiscoveryTimeline(), 10.0, 10.0)
+
+
+class TestAddressesForPort:
+    def test_indexes_tuple_items_by_port(self):
+        timeline = DiscoveryTimeline.from_mapping(
+            {(1, 80, 6): 0.0, (2, 22, 6): 1.0, (3, 80): 2.0, "bare": 3.0}
+        )
+        assert timeline.addresses_for_port(80) == {1, 3}
+        assert timeline.addresses_for_port(22) == {2}
+        assert timeline.addresses_for_port(443) == set()
+
+    def test_index_invalidated_by_record(self):
+        timeline = DiscoveryTimeline.from_mapping({(1, 80, 6): 0.0})
+        assert timeline.addresses_for_port(80) == {1}
+        timeline.record((2, 80, 6), 5.0)
+        assert timeline.addresses_for_port(80) == {1, 2}
+
+    def test_returned_set_is_a_copy(self):
+        timeline = DiscoveryTimeline.from_mapping({(1, 80, 6): 0.0})
+        timeline.addresses_for_port(80).add(99)
+        assert timeline.addresses_for_port(80) == {1}

@@ -4,12 +4,16 @@ import pytest
 
 from repro.core.timeline import DiscoveryTimeline
 from repro.experiments.common import (
+    _SAMPLED_TABLES,
+    _SCANLESS_TABLES,
     ExperimentResult,
     clear_caches,
     endpoints_for_port,
     get_context,
     get_dataset,
+    passive_table_without_scanners,
     percent,
+    sampled_tables,
 )
 
 SCALE = 0.03
@@ -45,6 +49,55 @@ class TestCaches:
         first = get_context("DTCPall", SEED, 1.0)
         clear_caches()
         assert first is not get_context("DTCPall", SEED, 1.0)
+
+
+class TestSecondPassCacheKeys:
+    """Regression: these caches were once keyed by ``id(context)``.
+
+    CPython reuses object ids after garbage collection, so an id key can
+    silently serve a table built for a *different* context.  The caches
+    must key by the context's identity-defining inputs instead.
+    """
+
+    def test_scanless_keyed_by_name_seed_scale(self):
+        context_a = get_context("DTCPall", SEED, 1.0)
+        context_b = get_context("DTCPall", SEED + 1, 1.0)
+        table_a = passive_table_without_scanners(context_a)
+        table_b = passive_table_without_scanners(context_b)
+        assert table_a is not table_b
+        assert table_a is passive_table_without_scanners(context_a)
+        assert set(_SCANLESS_TABLES) == {
+            ("DTCPall", SEED, 1.0),
+            ("DTCPall", SEED + 1, 1.0),
+        }
+
+    def test_scanless_survives_context_identity_change(self):
+        """An equal-key rebuild of the context still hits the cache."""
+        table = passive_table_without_scanners(get_context("DTCPall", SEED, 1.0))
+        # Drop only the context cache; the second-pass caches keep their
+        # entries, keyed by (name, seed, scale), not object identity.
+        from repro.experiments import common
+
+        common._CONTEXTS.clear()
+        rebuilt = get_context("DTCPall", SEED, 1.0)
+        assert passive_table_without_scanners(rebuilt) is table
+
+    def test_sampled_keyed_by_inputs_and_periods(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        minutes = (1.0, 10.0)
+        tables = sampled_tables(context, minutes)
+        assert set(tables) == {1.0, 10.0}
+        assert sampled_tables(context, minutes) is tables
+        assert sampled_tables(context, (5.0,)) is not tables
+        assert (("DTCPall", SEED, 1.0), minutes) in _SAMPLED_TABLES
+
+    def test_clear_caches_empties_second_pass_caches(self):
+        context = get_context("DTCPall", SEED, 1.0)
+        passive_table_without_scanners(context)
+        sampled_tables(context, (1.0,))
+        clear_caches()
+        assert not _SCANLESS_TABLES
+        assert not _SAMPLED_TABLES
 
 
 class TestContextViews:

@@ -32,6 +32,28 @@ class TestRunnerMain:
         with pytest.raises(SystemExit):
             main(["--only", "table99", "--out", str(tmp_path / "x.md")])
 
+    def test_jobs_rejects_non_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", "--out", str(tmp_path / "x.md")])
+
+    def test_jobs_report_matches_sequential(self, tmp_path):
+        """A process-pool run produces the same report as a sequential one."""
+        sequential = tmp_path / "seq.md"
+        pooled = tmp_path / "pool.md"
+        base = ["--scale", "0.03", "--seed", "5", "--only", "table1", "table3"]
+        assert main(base + ["--out", str(sequential)]) == 0
+        clear_caches()
+        assert main(base + ["--out", str(pooled), "--jobs", "2"]) == 0
+        assert pooled.read_text() == sequential.read_text()
+
+    def test_instrumented_metrics_stamped(self):
+        from repro.experiments.runner import _run_experiment_instrumented
+
+        result = _run_experiment_instrumented("table3", 5, 0.03)
+        assert "replay_records_per_sec" in result.metrics
+        assert "trace_cache_hits" in result.metrics
+        assert "trace_cache_misses" in result.metrics
+
     def test_header_records_parameters(self, tmp_path):
         out = tmp_path / "report.md"
         main(["--scale", "0.03", "--seed", "9", "--only", "table1",

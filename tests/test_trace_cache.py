@@ -1,0 +1,334 @@
+"""Tests for the record-once trace cache and the batched replay engine.
+
+The acceptance bar for the whole subsystem is *bit-identical* analysis:
+an observer fed from a cached trace (or the batched reader) must end in
+exactly the state it reaches on the freshly generated stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.passive.monitor import PassiveServiceTable, replay, replay_batched
+from repro.passive.scandetect import ExternalScanDetector
+from repro.passive.taps import MultiLinkMonitor
+from repro.passive.windows import WindowActivityObserver
+from repro.trace.cache import (
+    ENV_VAR,
+    TraceCache,
+    default_trace_cache,
+)
+from repro.trace.format import (
+    TraceReader,
+    read_records_chunked,
+    read_trace,
+    write_trace,
+)
+
+#: Cheap full-scale build with scans and all three record protocols.
+DATASET = "DTCPall"
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(DATASET, seed=SEED, scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def generated_records(dataset):
+    """The dataset's full border stream, regenerated (no cache)."""
+    return list(dataset._generate_stream())
+
+
+def standard_observers(dataset):
+    table = PassiveServiceTable(
+        is_campus=dataset.is_campus,
+        tcp_ports=dataset.tcp_ports,
+        udp_ports=dataset.udp_ports,
+        links=frozenset(dataset.spec.monitored_links),
+    )
+    detector = ExternalScanDetector(is_campus=dataset.is_campus)
+    return table, detector
+
+
+def assert_same_analysis(a_table, b_table, a_detector, b_detector):
+    assert a_table.first_seen == b_table.first_seen
+    assert a_table.flow_counts == b_table.flow_counts
+    assert a_table.clients == b_table.clients
+    assert a_detector.scanners() == b_detector.scanners()
+    assert a_detector._targets == b_detector._targets
+    assert a_detector._rst_sources == b_detector._rst_sources
+
+
+class TestChunkedReader:
+    def test_matches_streaming_reader(self, tmp_path, generated_records):
+        path = tmp_path / "t.rprt"
+        write_trace(path, generated_records)
+        streamed = read_trace(path)
+        chunked = [r for batch in read_records_chunked(path, 1000) for r in batch]
+        assert chunked == streamed == generated_records
+
+    def test_iter_batches_on_reader(self, tmp_path, generated_records):
+        path = tmp_path / "t.rprt"
+        write_trace(path, generated_records)
+        with TraceReader.open(path) as reader:
+            batches = list(reader.iter_batches(500))
+        assert all(len(batch) <= 500 for batch in batches)
+        assert [r for batch in batches for r in batch] == generated_records
+
+    def test_truncated_trace_rejected(self, tmp_path, generated_records):
+        path = tmp_path / "t.rprt"
+        write_trace(path, generated_records[:10])
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(ValueError, match="truncated"):
+            for _ in read_records_chunked(path):
+                pass
+
+    def test_bad_batch_size_rejected(self, tmp_path):
+        path = tmp_path / "t.rprt"
+        write_trace(path, [])
+        with pytest.raises(ValueError):
+            list(read_records_chunked(path, 0))
+
+
+class TestRoundTripFidelity:
+    """The paper's record-once/analyze-many premise: offline == online."""
+
+    def test_observers_identical_via_trace(self, tmp_path, dataset, generated_records):
+        path = tmp_path / "capture.rprt"
+        write_trace(path, generated_records)
+
+        direct_table, direct_detector = standard_observers(dataset)
+        direct_count = replay(iter(generated_records), direct_table, direct_detector)
+
+        stream_table, stream_detector = standard_observers(dataset)
+        with TraceReader.open(path) as reader:
+            stream_count = replay(reader, stream_table, stream_detector)
+
+        batch_table, batch_detector = standard_observers(dataset)
+        batch_count = replay_batched(
+            read_records_chunked(path), batch_table, batch_detector
+        )
+
+        assert direct_count == stream_count == batch_count
+        assert_same_analysis(direct_table, stream_table, direct_detector, stream_detector)
+        assert_same_analysis(direct_table, batch_table, direct_detector, batch_detector)
+
+    def test_cached_replay_identical_to_generation(self, dataset):
+        """``BuiltDataset.replay``: miss (tee) and hit give equal state."""
+        first_table, first_detector = standard_observers(dataset)
+        first = dataset.replay(first_table, first_detector)
+        assert default_trace_cache().lookup(dataset.trace_cache_key) is not None
+
+        second_table, second_detector = standard_observers(dataset)
+        second = dataset.replay(second_table, second_detector)
+        assert first == second
+        assert_same_analysis(first_table, second_table, first_detector, second_detector)
+
+    def test_packet_stream_served_from_cache(self, dataset, generated_records):
+        dataset.replay(PassiveServiceTable(is_campus=dataset.is_campus))
+        assert list(dataset.packet_stream()) == generated_records
+
+    def test_partial_replay_regenerates(self, dataset):
+        """``end`` before the dataset end must not read the full trace."""
+        table = PassiveServiceTable(
+            is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports
+        )
+        partial = dataset.replay(table, end=dataset.duration / 4)
+        full = dataset.replay(
+            PassiveServiceTable(
+                is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports
+            )
+        )
+        assert partial < full
+
+
+class TestBatchedObservers:
+    """observe_batch must equal per-record observe for every observer."""
+
+    def test_passive_table(self, dataset, generated_records):
+        per_record, _ = standard_observers(dataset)
+        batched, _ = standard_observers(dataset)
+        for record in generated_records:
+            per_record.observe(record)
+        batched.observe_batch(generated_records)
+        assert per_record.first_seen == batched.first_seen
+        assert per_record.flow_counts == batched.flow_counts
+        assert per_record.clients == batched.clients
+
+    def test_passive_table_handshake_signal(self, dataset, generated_records):
+        from repro.passive.monitor import ServiceSignal
+
+        def make():
+            return PassiveServiceTable(
+                is_campus=dataset.is_campus,
+                tcp_ports=dataset.tcp_ports,
+                signal=ServiceSignal.HANDSHAKE,
+            )
+
+        per_record, batched = make(), make()
+        for record in generated_records:
+            per_record.observe(record)
+        batched.observe_batch(generated_records)
+        assert per_record.first_seen == batched.first_seen
+        assert per_record.flow_counts == batched.flow_counts
+
+    def test_scan_detector(self, dataset, generated_records):
+        per_record = ExternalScanDetector(is_campus=dataset.is_campus)
+        batched = ExternalScanDetector(is_campus=dataset.is_campus)
+        for record in generated_records:
+            per_record.observe(record)
+        batched.observe_batch(generated_records)
+        assert per_record._targets == batched._targets
+        assert per_record._rst_sources == batched._rst_sources
+
+    def test_window_observer(self, dataset, generated_records):
+        windows = dataset.scan_windows()
+
+        def make():
+            return WindowActivityObserver(
+                windows=windows,
+                is_campus=dataset.is_campus,
+                tcp_ports=dataset.tcp_ports,
+            )
+
+        per_record, batched = make(), make()
+        for record in generated_records:
+            per_record.observe(record)
+        batched.observe_batch(generated_records)
+        assert per_record.hits == batched.hits
+
+    def test_multilink_monitor(self, dataset, generated_records):
+        def make():
+            return MultiLinkMonitor(
+                links=dataset.spec.monitored_links,
+                is_campus=dataset.is_campus,
+                tcp_ports=dataset.tcp_ports,
+            )
+
+        per_record, batched = make(), make()
+        for record in generated_records:
+            per_record.observe(record)
+        batched.observe_batch(generated_records)
+        assert per_record.combined.first_seen == batched.combined.first_seen
+        for link, tap in per_record.taps.items():
+            assert tap.table.first_seen == batched.taps[link].table.first_seen
+
+    def test_replay_batched_falls_back_to_observe(self, generated_records):
+        class CountingObserver:
+            def __init__(self):
+                self.seen = 0
+
+            def observe(self, record):
+                self.seen += 1
+
+        observer = CountingObserver()
+        batches = [generated_records[:100], generated_records[100:250]]
+        assert replay_batched(iter(batches), observer) == 250
+        assert observer.seen == 250
+
+
+class TestTraceCache:
+    def test_disabled_by_env(self, monkeypatch):
+        for value in ("off", "none", "disabled", "0", "OFF"):
+            monkeypatch.setenv(ENV_VAR, value)
+            assert default_trace_cache().enabled is False
+
+    def test_env_points_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "cachedir"))
+        cache = default_trace_cache()
+        assert cache.enabled
+        assert cache.root == tmp_path / "cachedir"
+
+    def test_disabled_lookup_never_hits(self, tmp_path):
+        cache = TraceCache(root=tmp_path, enabled=False)
+        assert cache.lookup(("DTCPall", 0, "1.0", 1)) is None
+        assert cache.stats.hits == cache.stats.misses == 0
+
+    def test_keying(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        a = cache.path_for(("DTCP1-18d", 0, "1.0", 1))
+        assert a != cache.path_for(("DTCP1-18d", 1, "1.0", 1))
+        assert a != cache.path_for(("DTCP1-18d", 0, "0.5", 1))
+        assert a != cache.path_for(("DTCP1-18d", 0, "1.0", 2))  # generator bump
+        assert a == cache.path_for(("DTCP1-18d", 0, "1.0", 1))
+        assert a.name.startswith("DTCP1-18d-")
+
+    def test_atomic_write_and_stats(self, tmp_path, generated_records):
+        cache = TraceCache(root=tmp_path / "nested" / "cache")
+        key = (DATASET, SEED, "1.0", 1)
+        assert cache.lookup(key) is None
+        pending = cache.begin_write(key)
+        write_trace(pending.tmp_path, generated_records)
+        # Not visible until committed.
+        assert not cache.path_for(key).exists()
+        final = pending.commit()
+        assert final == cache.path_for(key)
+        assert cache.lookup(key) == final
+        assert read_trace(final) == generated_records
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_abort_removes_partial(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        pending = cache.begin_write(("x", 0, "1.0", 1))
+        pending.tmp_path.write_bytes(b"partial")
+        pending.abort()
+        assert not pending.tmp_path.exists()
+        pending.abort()  # idempotent
+
+    def test_entries_and_clear(self, tmp_path, generated_records):
+        cache = TraceCache(root=tmp_path)
+        for seed in (1, 2):
+            pending = cache.begin_write(("x", seed, "1.0", 1))
+            write_trace(pending.tmp_path, generated_records[:seed * 5])
+            pending.commit()
+        assert len(cache.entries()) == 2
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_default_cache_tracks_env_changes(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "a"))
+        first = default_trace_cache()
+        assert first is default_trace_cache()
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "b"))
+        assert default_trace_cache().root == tmp_path / "b"
+
+    def test_replay_stats_accumulate(self, monkeypatch, tmp_path, dataset):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "stats-cache"))
+        cache = default_trace_cache()
+        dataset.replay(PassiveServiceTable(is_campus=dataset.is_campus))
+        assert cache.stats.misses == 1
+        dataset.replay(PassiveServiceTable(is_campus=dataset.is_campus))
+        assert cache.stats.hits == 1
+        assert cache.stats.records_replayed > 0
+        assert cache.stats.replay_seconds > 0
+        assert cache.stats.records_per_sec > 0
+
+    def test_corrupt_entry_treated_as_miss(self, monkeypatch, tmp_path, dataset):
+        """A truncated cached trace is evicted and replay regenerates."""
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "corrupt-cache"))
+        cache = default_trace_cache()
+        reference_table, reference_detector = standard_observers(dataset)
+        dataset.replay(reference_table, reference_detector)
+        path = cache.path_for(dataset.trace_cache_key)
+        path.write_bytes(path.read_bytes()[:-13])
+
+        assert cache.lookup(dataset.trace_cache_key) is None
+        assert not path.exists()
+
+        table, detector = standard_observers(dataset)
+        dataset.replay(table, detector)
+        assert_same_analysis(reference_table, table, reference_detector, detector)
+        # The re-recorded entry is intact again.
+        assert cache.lookup(dataset.trace_cache_key) == path
+
+    def test_disabled_cache_replay_still_works(self, monkeypatch, dataset):
+        monkeypatch.setenv(ENV_VAR, "off")
+        table = PassiveServiceTable(
+            is_campus=dataset.is_campus, tcp_ports=dataset.tcp_ports
+        )
+        count = dataset.replay(table)
+        assert count > 0
+        assert default_trace_cache().entries() == []
