@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the hardened experiment runner.
+#
+# Runs a small experiment sweep to completion as the reference, then
+# reruns it, SIGTERMs the runner mid-sweep (after the first checkpoint
+# write, i.e. after at least one experiment finished), resumes with
+# --resume, and asserts:
+#
+#   1. the interrupted run exited 130 and left a checkpoint;
+#   2. the resume recomputed only unfinished experiments;
+#   3. the resumed report is byte-identical to the uninterrupted one.
+#
+# Usage: scripts/kill_resume_smoke.sh [scale] [experiments...]
+set -euo pipefail
+
+SCALE="${1:-0.1}"
+shift || true
+EXPERIMENTS=("${@:-table2 table3 figure04}")
+# shellcheck disable=SC2206
+EXPERIMENTS=(${EXPERIMENTS[@]})
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+export PYTHONPATH="${PYTHONPATH:-src}"
+export REPRO_TRACE_CACHE="${REPRO_TRACE_CACHE:-$WORKDIR/trace-cache}"
+
+RUNNER=(python -m repro.experiments.runner
+        --only "${EXPERIMENTS[@]}" --scale "$SCALE")
+
+echo "== reference: uninterrupted run =="
+"${RUNNER[@]}" --out "$WORKDIR/reference.md"
+
+echo "== interrupted run: SIGTERM after the first experiment finishes =="
+"${RUNNER[@]}" --out "$WORKDIR/resumed.md" 2>"$WORKDIR/interrupted.log" &
+PID=$!
+for _ in $(seq 1 600); do
+    [ -f "$WORKDIR/resumed.md.checkpoint.json" ] && break
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.2
+done
+if ! kill -TERM "$PID" 2>/dev/null; then
+    echo "FAIL: runner finished before it could be interrupted" >&2
+    cat "$WORKDIR/interrupted.log" >&2
+    exit 1
+fi
+RC=0
+wait "$PID" || RC=$?
+cat "$WORKDIR/interrupted.log"
+if [ "$RC" -ne 130 ]; then
+    echo "FAIL: interrupted runner exited $RC, expected 130" >&2
+    exit 1
+fi
+if [ ! -f "$WORKDIR/resumed.md.checkpoint.json" ]; then
+    echo "FAIL: no checkpoint written on interrupt" >&2
+    exit 1
+fi
+
+echo "== resume =="
+"${RUNNER[@]}" --out "$WORKDIR/resumed.md" --resume 2>"$WORKDIR/resume.log"
+cat "$WORKDIR/resume.log"
+grep -q "resuming:" "$WORKDIR/resume.log" || {
+    echo "FAIL: resume did not reuse the checkpoint" >&2
+    exit 1
+}
+
+echo "== compare =="
+if ! cmp "$WORKDIR/reference.md" "$WORKDIR/resumed.md"; then
+    echo "FAIL: resumed report differs from the uninterrupted run" >&2
+    exit 1
+fi
+if [ -f "$WORKDIR/resumed.md.checkpoint.json" ]; then
+    echo "FAIL: checkpoint not removed after a successful resume" >&2
+    exit 1
+fi
+echo "PASS: resumed report is byte-identical to the uninterrupted run"

@@ -64,10 +64,18 @@ class HalfOpenScanner:
     """
 
     def __init__(
-        self, population: CampusPopulation, config: ScannerConfig | None = None
+        self,
+        population: CampusPopulation,
+        config: ScannerConfig | None = None,
+        faults=None,
     ) -> None:
         self.population = population
         self.config = config if config is not None else ScannerConfig()
+        # A null fault plan is stored as None so every fault check
+        # below is a single identity comparison on the pristine path.
+        if faults is not None and faults.is_null:
+            faults = None
+        self.fault_plan = faults
 
     def scan(
         self,
@@ -101,14 +109,21 @@ class HalfOpenScanner:
             end=start + duration,
             ports=tuple(ports),
         )
+        faults = (
+            self.fault_plan.probe_faults(scan_id, start, duration)
+            if self.fault_plan is not None
+            else None
+        )
         chunks = self._split(list(targets), self.config.parallelism)
-        for chunk in chunks:
+        for machine, chunk in enumerate(chunks):
             if not chunk:
                 continue
             step = duration / len(chunk)
             for index, address in enumerate(chunk):
                 t = start + index * step
-                self._probe_address(address, ports, t, report)
+                self._probe_address(
+                    address, ports, t, report, faults=faults, machine=machine
+                )
         report.opens.sort()
         return report
 
@@ -118,7 +133,16 @@ class HalfOpenScanner:
         ports: Sequence[int],
         t: float,
         report: ScanReport,
+        faults=None,
+        machine: int = 0,
     ) -> None:
+        if faults is not None and faults.machine_down(machine, t):
+            # The scanning machine is down: its probes are never sent.
+            # The scanner's log shows silence, indistinguishable from
+            # an unpopulated address.
+            for _ in ports:
+                report.counts.add(ProbeOutcome.NOTHING)
+            return
         host = self.population.occupant_host(address, t)
         if host is None:
             for _ in ports:
@@ -129,9 +153,12 @@ class HalfOpenScanner:
         responded = False
         for port in ports:
             outcome = host.tcp_probe_response(port, t, internal=self.config.internal)
+            delay = 0.0
+            if faults is not None:
+                outcome, delay = faults.transmit(machine, outcome)
             report.counts.add(outcome)
             if outcome is ProbeOutcome.SYNACK:
-                report.opens.append((t, address, port))
+                report.opens.append((t + delay, address, port))
                 responded = True
             elif outcome is ProbeOutcome.RST:
                 saw_rst = True
@@ -159,12 +186,26 @@ class HalfOpenScanner:
         analysis the paper reports for DTCPall (only open endpoints are
         plotted/counted), so per-port negative outcomes are aggregated
         arithmetically instead of being iterated one by one.
+
+        Fault injection keeps the sparse shape: transmission loss and
+        retransmits apply to the probes that matter for the reported
+        analyses (service ports and the RST baseline probe); the
+        arithmetically aggregated closed-port negatives are left
+        exact, since a lost RST among tens of thousands changes no
+        reported number.  The sweep runs from one machine, so a
+        downtime window blacks out a contiguous slice of the address
+        walk.
         """
         report = ScanReport(
             scan_id=scan_id,
             start=start,
             end=start + duration,
             ports=(),
+        )
+        faults = (
+            self.fault_plan.probe_faults(scan_id, start, duration)
+            if self.fault_plan is not None
+            else None
         )
         addresses = sorted(
             address
@@ -176,18 +217,26 @@ class HalfOpenScanner:
         internal = self.config.internal
         for index, address in enumerate(addresses):
             t = report.start + index * step
+            if faults is not None and faults.machine_down(0, t):
+                report.counts.nothing += max_port
+                continue
             host = self.population.occupant_host(address, t)
             if host is None:
                 report.counts.nothing += max_port
                 continue
             open_found = False
             rst_baseline = host.tcp_probe_response(1, t, internal=internal)
+            if faults is not None:
+                rst_baseline, _ = faults.transmit(0, rst_baseline)
             for (port, proto), service in sorted(host.services.items()):
                 if proto != 6 or port > max_port:
                     continue
                 outcome = host.tcp_probe_response(port, t, internal=internal)
+                delay = 0.0
+                if faults is not None:
+                    outcome, delay = faults.transmit(0, outcome)
                 if outcome is ProbeOutcome.SYNACK:
-                    report.opens.append((t, address, port))
+                    report.opens.append((t + delay, address, port))
                     open_found = True
             if rst_baseline is ProbeOutcome.RST:
                 report.responding_addresses.add(address)

@@ -16,6 +16,9 @@ Operational entry points over the library:
 ``cache``
     Show the record-once trace cache (location, entries, sizes);
     ``--clear`` empties it.
+``degradation``
+    Sweep seeded capture-loss/outage fault plans against passive and
+    active completeness (see :mod:`repro.experiments.degradation`).
 """
 
 from __future__ import annotations
@@ -181,6 +184,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_degradation(args: argparse.Namespace) -> int:
+    from repro.experiments.degradation import run_from_args
+
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -213,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     cache = commands.add_parser("cache", help="show the record-once trace cache")
     cache.add_argument("--clear", action="store_true",
                        help="remove every cached trace")
+
+    from repro.experiments.degradation import configure_parser
+
+    degradation = commands.add_parser(
+        "degradation",
+        help="sweep fault plans against passive/active completeness",
+    )
+    configure_parser(degradation)
     return parser
 
 
@@ -225,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         "record": cmd_record,
         "trace-stats": cmd_trace_stats,
         "cache": cmd_cache,
+        "degradation": cmd_degradation,
     }
     try:
         return handlers[args.command](args)

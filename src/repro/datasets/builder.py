@@ -87,6 +87,12 @@ class BuiltDataset:
     scale: float = 1.0
     #: Master seed the build derived everything from (trace-cache key).
     seed: int = 0
+    #: Fault plan the build was taken under (None = perfect observer).
+    #: Active scans degrade at build time; passive capture loss is
+    #: applied per replay via the ``faults=`` parameter.  The border
+    #: *traffic* is never faulted -- faults model the measurement, not
+    #: the network -- so the trace cache always stores ground truth.
+    faults: "object | None" = None
 
     @property
     def duration(self) -> float:
@@ -158,7 +164,7 @@ class BuiltDataset:
                 )
         return self._generate_stream(end)
 
-    def replay(self, *observers, end: float | None = None) -> int:
+    def replay(self, *observers, end: float | None = None, faults=None) -> int:
         """Feed one pass into *observers*; return the record count.
 
         Record-once/analyze-many: the first full-duration replay
@@ -169,6 +175,13 @@ class BuiltDataset:
         Partial replays (``end`` before the dataset end) always
         regenerate -- truncated generation is not a prefix of the full
         stream.  Observer results are identical on every path.
+
+        *faults* (a fresh :class:`repro.faults.capture.CaptureFilter`,
+        usually ``plan.capture_filter(dataset.duration)``) drops
+        records between the stored/generated stream and the observers
+        -- lossy capture over ground-truth traffic.  The cache always
+        records the unfaulted stream, so one recording serves every
+        loss rate, and the returned count is what the observers saw.
         """
         from repro.passive.monitor import replay as _replay, replay_batched
         from time import perf_counter
@@ -178,23 +191,33 @@ class BuiltDataset:
         if cache.enabled and self._full_pass(end):
             cached = cache.lookup(self.trace_cache_key)
             if cached is not None:
-                count = replay_batched(read_records_chunked(cached), *observers)
+                count = replay_batched(
+                    read_records_chunked(cached), *observers, faults=faults
+                )
             else:
-                count = self._replay_and_record(cache, observers)
+                count = self._replay_and_record(cache, observers, faults)
         else:
-            count = _replay(self._generate_stream(end), *observers)
+            count = _replay(self._generate_stream(end), *observers, faults=faults)
         cache.stats.note_replay(count, perf_counter() - started)
         return count
 
-    def _replay_and_record(self, cache, observers) -> int:
-        """First full pass: tee the generated stream into the cache."""
+    def _replay_and_record(self, cache, observers, faults=None) -> int:
+        """First full pass: tee the generated stream into the cache.
+
+        The tee sits *before* the fault filter: the cache records
+        ground truth, the observers see the lossy capture.  When the
+        build's fault plan injects storage faults, the freshly
+        committed entry may be truncated in place -- the next lookup
+        then detects the damage, evicts, and regenerates, exercising
+        the recovery path end to end.
+        """
         from repro.passive.monitor import replay as _replay
 
         try:
             pending = cache.begin_write(self.trace_cache_key)
         except OSError:
             # Unwritable cache directory: serve the pass without recording.
-            return _replay(self._generate_stream(), *observers)
+            return _replay(self._generate_stream(), *observers, faults=faults)
         try:
             with TraceWriter.open(pending.tmp_path) as writer:
                 write = writer.write
@@ -204,11 +227,13 @@ class BuiltDataset:
                         write(record)
                         yield record
 
-                count = _replay(tee(), *observers)
-            pending.commit()
+                count = _replay(tee(), *observers, faults=faults)
+            final = pending.commit()
         except BaseException:
             pending.abort()
             raise
+        if self.faults is not None:
+            self.faults.maybe_corrupt_trace(final, self.trace_cache_key)
         return count
 
     def scan_windows(self) -> list[tuple[float, float]]:
@@ -251,7 +276,9 @@ def _make_profile(spec: DatasetSpec, scale: float):
     return factories[spec.profile](scale)
 
 
-def build_dataset(name: str, seed: int = 0, scale: float = 1.0) -> BuiltDataset:
+def build_dataset(
+    name: str, seed: int = 0, scale: float = 1.0, faults=None
+) -> BuiltDataset:
     """Build the named dataset.
 
     Parameters
@@ -265,11 +292,21 @@ def build_dataset(name: str, seed: int = 0, scale: float = 1.0) -> BuiltDataset:
         independent streams from it.
     scale:
         Population scale (1.0 reproduces the paper's counts).
+    faults:
+        Optional :class:`repro.faults.plan.FaultPlan`.  Degrades the
+        *measurement* only: active scans taken at build time see probe
+        loss and prober downtime, and committed trace-cache entries
+        may be corrupted.  The population and border traffic are
+        untouched, so a faulted build shares its trace-cache entry
+        with the pristine build.  ``FaultPlan.none()`` (or ``None``)
+        is byte-identical to an unfaulted build.
     """
     spec = get_spec(name)
+    if faults is not None and faults.is_null:
+        faults = None
     if spec.subset_of is not None:
         parent = get_spec(spec.subset_of)
-        return build_dataset(parent.name, seed=seed, scale=scale)
+        return build_dataset(parent.name, seed=seed, scale=scale, faults=faults)
 
     profile = _make_profile(spec, scale)
     duration = spec.passive_seconds
@@ -300,6 +337,7 @@ def build_dataset(name: str, seed: int = 0, scale: float = 1.0) -> BuiltDataset:
         traffic_seed=derive_seed(seed, f"traffic.{spec.name}"),
         scale=scale,
         seed=seed,
+        faults=faults,
     )
     _run_active_scans(dataset)
     return dataset
@@ -319,7 +357,9 @@ def _run_active_scans(dataset: BuiltDataset) -> None:
         return
     if spec.scan_interval_hours == 0:
         return  # passive-only dataset (DTCP1-90d)
-    scanner = HalfOpenScanner(dataset.population, ScannerConfig(parallelism=2))
+    scanner = HalfOpenScanner(
+        dataset.population, ScannerConfig(parallelism=2), faults=dataset.faults
+    )
     if spec.ports == "tcp-all":
         # DTCPall: one sweep of every port, taking nearly 24 hours.
         report = scanner.scan_open_ports_of_population(

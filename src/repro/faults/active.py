@@ -1,0 +1,127 @@
+"""Active-measurement faults: lossy probes and crashing prober machines.
+
+The scanner's view degrades in two ways:
+
+* **Transmission loss** -- a SYN never reaches the target
+  (``probe_loss_rate``) or the target's SYN-ACK/RST is lost on the
+  return path (``response_loss_rate``).  Silence triggers Nmap-style
+  retransmits: up to ``probe_retries`` extra attempts, each preceded by
+  an exponentially growing backoff, so a recovered answer is *observed
+  late* and an unlucky open port is misclassified as filtered.
+* **Machine downtime** -- one scanning machine is down for a contiguous
+  slice of the sweep (``prober_downtime_fraction``); probes it should
+  have sent in that span are never sent at all.
+
+All randomness is drawn from per-``(scan_id, machine)`` streams in
+probe order, so a fixed plan degrades a sweep identically in every
+process.  A :class:`ProbeFaults` instance is single-sweep: build a
+fresh one per scan (:meth:`repro.faults.plan.FaultPlan.probe_faults`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.campus.host import ProbeOutcome
+from repro.simkernel.rng import derive_seed
+
+
+class _MachineState:
+    """Fault state for one scanning machine within one sweep."""
+
+    __slots__ = ("rng", "down_start", "down_end")
+
+    def __init__(
+        self, seed: int, scan_id: int, machine: int,
+        start: float, duration: float, downtime_fraction: float,
+    ) -> None:
+        self.rng = random.Random(
+            derive_seed(seed, f"faults.probe.{scan_id}.{machine}")
+        )
+        if downtime_fraction > 0.0 and duration > 0.0:
+            width = downtime_fraction * duration
+            placement = random.Random(
+                derive_seed(seed, f"faults.downtime.{scan_id}.{machine}")
+            )
+            offset = placement.uniform(0.0, duration - width)
+            self.down_start = start + offset
+            self.down_end = self.down_start + width
+        else:
+            self.down_start = self.down_end = 0.0
+
+
+class ProbeFaults:
+    """Per-sweep fault model consulted by :class:`HalfOpenScanner`.
+
+    Parameters
+    ----------
+    plan:
+        The fault plan supplying rates and the seed.
+    scan_id:
+        Identifier of the sweep (each scheduled scan degrades
+        independently).
+    start, duration:
+        The sweep's time span; machine downtime windows are placed
+        inside it.
+    """
+
+    def __init__(self, plan, scan_id: int, start: float, duration: float) -> None:
+        self.plan = plan
+        self.scan_id = scan_id
+        self.start = start
+        self.duration = duration
+        self._machines: dict[int, _MachineState] = {}
+        self._probe_loss = plan.probe_loss_rate
+        self._response_loss = plan.response_loss_rate
+        self._attempts = 1 + plan.probe_retries
+        self._backoff = plan.retry_backoff_seconds
+
+    def _machine(self, machine: int) -> _MachineState:
+        state = self._machines.get(machine)
+        if state is None:
+            state = _MachineState(
+                self.plan.seed, self.scan_id, machine,
+                self.start, self.duration, self.plan.prober_downtime_fraction,
+            )
+            self._machines[machine] = state
+        return state
+
+    def machine_down(self, machine: int, t: float) -> bool:
+        """Whether scanning machine *machine* is down at time *t*."""
+        state = self._machine(machine)
+        return state.down_start <= t < state.down_end
+
+    def downtime_window(self, machine: int) -> tuple[float, float] | None:
+        """The machine's downtime span, or None when it never crashes."""
+        state = self._machine(machine)
+        if state.down_start == state.down_end:
+            return None
+        return (state.down_start, state.down_end)
+
+    def transmit(
+        self, machine: int, outcome: ProbeOutcome
+    ) -> tuple[ProbeOutcome, float]:
+        """Push one probe through the lossy path with retransmits.
+
+        *outcome* is what the target would answer (resolved by the
+        host state machine); the return value is what the scanner
+        *observes* and how many seconds of backoff it spent getting
+        it.  A probe whose every transmission went unanswered is
+        observed as :data:`ProbeOutcome.NOTHING` -- indistinguishable
+        from a firewall, which is precisely the confusion the
+        degradation experiment measures.
+        """
+        rng_random = self._machine(machine).rng.random
+        answers = outcome is not ProbeOutcome.NOTHING
+        delay = 0.0
+        for attempt in range(self._attempts):
+            if attempt:
+                delay += self._backoff * (2.0 ** (attempt - 1))
+            if self._probe_loss > 0.0 and rng_random() < self._probe_loss:
+                continue  # SYN lost in flight; silence, retransmit
+            if not answers:
+                continue  # target genuinely silent; retransmit anyway
+            if self._response_loss > 0.0 and rng_random() < self._response_loss:
+                continue  # answer lost on the return path
+            return outcome, delay
+        return ProbeOutcome.NOTHING, delay

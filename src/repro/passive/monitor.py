@@ -39,13 +39,27 @@ class PacketObserver(Protocol):
         ...
 
 
-def replay(stream: Iterable[PacketRecord], *observers: PacketObserver) -> int:
+def replay(
+    stream: Iterable[PacketRecord],
+    *observers: PacketObserver,
+    faults=None,
+) -> int:
     """Push every record of *stream* into all *observers*; return count.
 
     One pass feeds any number of observers, so analyses that need
     several views (per-link tables, sampled tables, scan detection)
     share a single traversal of the trace.
+
+    *faults* (a :class:`repro.faults.capture.CaptureFilter`) injects
+    capture loss and monitor outages: dropped records are invisible to
+    *every* observer of the pass, exactly as a packet lost at the tap
+    is lost for all analyses of the stored trace.  The returned count
+    is the number of records the observers actually saw.  ``None``
+    (the default) takes the pristine path.
     """
+    if faults is not None:
+        keep = faults.keep
+        stream = (record for record in stream if keep(record))
     count = 0
     observe_methods = [observer.observe for observer in observers]
     for record in stream:
@@ -66,7 +80,9 @@ def _batch_adapter(observe: Callable[[PacketRecord], None]):
 
 
 def replay_batched(
-    batches: Iterable[list[PacketRecord]], *observers: PacketObserver
+    batches: Iterable[list[PacketRecord]],
+    *observers: PacketObserver,
+    faults=None,
 ) -> int:
     """Feed record *batches* into all *observers*; return the record count.
 
@@ -79,7 +95,10 @@ def replay_batched(
     pre-filters into local variables, so records an observer would
     discard cost a few comparisons rather than a method dispatch.
 
-    Results are identical to :func:`replay` over the flattened stream.
+    Results are identical to :func:`replay` over the flattened stream,
+    including under a *faults* filter: the filter consumes records in
+    stream order either way, so the drop pattern matches the
+    record-at-a-time path bit for bit.
     """
     count = 0
     dispatchers = []
@@ -88,7 +107,10 @@ def replay_batched(
         if batch_method is None:
             batch_method = _batch_adapter(observer.observe)
         dispatchers.append(batch_method)
+    filter_batch = faults.filter_batch if faults is not None else None
     for batch in batches:
+        if filter_batch is not None:
+            batch = filter_batch(batch)
         for dispatch in dispatchers:
             dispatch(batch)
         count += len(batch)

@@ -5,6 +5,12 @@ Internet2.  A :class:`LinkTap` is a passive table restricted to one
 link; :class:`MultiLinkMonitor` runs several in one pass and answers
 Table 8's questions: how many servers does each link see, and how many
 are *exclusive* to it.
+
+Both accept an optional capture-fault filter
+(:class:`repro.faults.capture.CaptureFilter`): a record the filter
+drops was never delivered by that link's monitor, so it is invisible
+to every table fed from the tap.  With no filter (the default) the
+code paths are untouched.
 """
 
 from __future__ import annotations
@@ -18,10 +24,16 @@ from repro.passive.monitor import PassiveServiceTable, ServiceSignal
 
 @dataclass
 class LinkTap:
-    """A passive monitor attached to one peering link."""
+    """A passive monitor attached to one peering link.
+
+    ``faults`` injects capture loss for records crossing *this* link;
+    records on other links pass through untouched (the tap's table
+    discards them itself) and do not advance the link's loss state.
+    """
 
     link: str
     table: PassiveServiceTable
+    faults: object | None = None
 
     @classmethod
     def create(
@@ -31,6 +43,7 @@ class LinkTap:
         tcp_ports: frozenset[int] | None,
         udp_ports: frozenset[int] = frozenset(),
         signal: ServiceSignal = ServiceSignal.SYNACK,
+        faults: object | None = None,
     ) -> "LinkTap":
         return cls(
             link=link,
@@ -41,17 +54,40 @@ class LinkTap:
                 links=frozenset({link}),
                 signal=signal,
             ),
+            faults=faults,
         )
 
     def observe(self, record: PacketRecord) -> None:
+        if (
+            self.faults is not None
+            and record.link == self.link
+            and not self.faults.keep(record)
+        ):
+            return
         self.table.observe(record)
 
     def observe_batch(self, records: list[PacketRecord]) -> None:
+        if self.faults is not None:
+            link = self.link
+            keep = self.faults.keep
+            records = [
+                record
+                for record in records
+                if record.link != link or keep(record)
+            ]
         self.table.observe_batch(records)
 
 
 class MultiLinkMonitor:
-    """Several link taps plus a combined all-links table, in one pass."""
+    """Several link taps plus a combined all-links table, in one pass.
+
+    A ``faults`` filter is applied once, up front, for all taps and
+    the combined table together: a header lost at the capture of link
+    X never reaches *any* analysis, matching how a real monitoring
+    cluster shares one capture stream per link.  The taps themselves
+    are created without filters so each record's fate is decided
+    exactly once.
+    """
 
     def __init__(
         self,
@@ -59,7 +95,9 @@ class MultiLinkMonitor:
         is_campus: Callable[[int], bool],
         tcp_ports: frozenset[int] | None,
         udp_ports: frozenset[int] = frozenset(),
+        faults: object | None = None,
     ) -> None:
+        self.faults = faults
         self.taps: dict[str, LinkTap] = {
             link: LinkTap.create(link, is_campus, tcp_ports, udp_ports)
             for link in links
@@ -72,6 +110,8 @@ class MultiLinkMonitor:
         )
 
     def observe(self, record: PacketRecord) -> None:
+        if self.faults is not None and not self.faults.keep(record):
+            return
         self.combined.observe(record)
         tap = self.taps.get(record.link)
         if tap is not None:
@@ -80,6 +120,8 @@ class MultiLinkMonitor:
     def observe_batch(self, records: list[PacketRecord]) -> None:
         """Batched :meth:`observe`: each table filters by link itself,
         so handing every tap the whole batch gives identical results."""
+        if self.faults is not None:
+            records = self.faults.filter_batch(records)
         self.combined.observe_batch(records)
         for tap in self.taps.values():
             tap.observe_batch(records)

@@ -36,6 +36,19 @@ class TestMetricSpread:
         spread = MetricSpread(name="m", values=(0.0, 0.0))
         assert spread.cv == 0.0
 
+    def test_all_nan_metric(self):
+        """A metric absent from every seed: NaN mean, but no crash and
+        no spurious instability flag."""
+        spread = MetricSpread(name="m", values=(float("nan"), float("nan")))
+        assert math.isnan(spread.mean)
+        assert spread.stdev == 0.0
+        assert spread.cv == 0.0
+
+    def test_mixed_nan_values_use_finite_subset(self):
+        spread = MetricSpread(name="m", values=(2.0, float("nan"), 4.0))
+        assert spread.mean == 3.0
+        assert spread.stdev == pytest.approx(math.sqrt(2.0))
+
 
 class TestSeedSweep:
     def test_sweep_table1(self):
@@ -55,6 +68,35 @@ class TestSeedSweep:
         with pytest.raises(ValueError):
             seed_sweep("table1", seeds=())
 
+    def test_single_seed_sweep_has_zero_spread(self):
+        """One seed: every metric must report stdev 0 and read stable."""
+        result = seed_sweep("table1", seeds=(5,), scale=0.03)
+        assert result.seeds == (5,)
+        for spread in result.spreads.values():
+            assert len(spread.values) == 1
+            assert spread.stdev == 0.0
+            assert spread.cv == 0.0
+            assert spread.minimum == spread.maximum == spread.values[0]
+        assert result.unstable_metrics() == []
+
+    def test_all_nan_metric_survives_sweep_aggregation(self):
+        """A metric missing from every seed aggregates to NaN values
+        without poisoning the report or the stability flags."""
+        result = SweepResult(
+            experiment_id="x",
+            seeds=(1, 2),
+            scale=1.0,
+            spreads={
+                "ghost": MetricSpread(
+                    "ghost", (float("nan"), float("nan"))
+                ),
+            },
+        )
+        assert result.unstable_metrics() == []
+        text = sweep_report(result)
+        assert "ghost" in text
+        assert "nan" in text.lower()
+
     def test_unstable_metrics_flagging(self):
         result = SweepResult(
             experiment_id="x",
@@ -66,6 +108,21 @@ class TestSeedSweep:
             },
         )
         assert result.unstable_metrics() == ["wild"]
+
+    def test_cv_threshold_boundary(self):
+        """cv exactly at the threshold counts as stable (strict >)."""
+        # values (5, 15): mean 10, stdev sqrt(50), cv = sqrt(50)/10.
+        spread = MetricSpread("edge", (5.0, 15.0))
+        result = SweepResult(
+            experiment_id="x", seeds=(1, 2), scale=1.0,
+            spreads={"edge": spread},
+        )
+        assert result.unstable_metrics(cv_threshold=spread.cv) == []
+        assert result.unstable_metrics(
+            cv_threshold=spread.cv - 1e-12
+        ) == ["edge"]
+        text = sweep_report(result, cv_threshold=spread.cv)
+        assert "yes" in text
 
     def test_report_renders(self):
         result = seed_sweep("table1", seeds=(1, 2), scale=0.03)

@@ -7,6 +7,8 @@ exactly the state it reaches on the freshly generated stream.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datasets import build_dataset
@@ -324,6 +326,22 @@ class TestTraceCache:
         # The re-recorded entry is intact again.
         assert cache.lookup(dataset.trace_cache_key) == path
 
+    def test_truncated_entry_lookup_is_miss_and_evicts(
+        self, tmp_path, generated_records
+    ):
+        """lookup() on a half-written entry must evict, not serve it."""
+        cache = TraceCache(root=tmp_path)
+        key = (DATASET, SEED, "1.0", 1)
+        pending = cache.begin_write(key)
+        write_trace(pending.tmp_path, generated_records)
+        path = pending.commit()
+        # Chop the entry roughly in half, as a crashed writer or the
+        # fault injector's cache_corruption_rate would.
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.lookup(key) is None
+        assert not path.exists()
+        assert cache.stats.misses == 1
+
     def test_disabled_cache_replay_still_works(self, monkeypatch, dataset):
         monkeypatch.setenv(ENV_VAR, "off")
         table = PassiveServiceTable(
@@ -332,3 +350,72 @@ class TestTraceCache:
         count = dataset.replay(table)
         assert count > 0
         assert default_trace_cache().entries() == []
+
+
+class TestConcurrentWriters:
+    """Racing ``--jobs N`` workers recording the same dataset.
+
+    Every writer produces identical bytes and publishes with an atomic
+    rename, so whichever commit lands last, the entry must be intact
+    and serve the full record stream.
+    """
+
+    KEY = (DATASET, SEED, "1.0", 1)
+
+    @staticmethod
+    def _race_write(root, key, records, barrier):
+        cache = TraceCache(root=root)
+        pending = cache.begin_write(key)
+        write_trace(pending.tmp_path, records)
+        barrier.wait(timeout=30)  # line everyone up, then commit at once
+        pending.commit()
+        os._exit(0)
+
+    def test_processes_racing_same_key(self, tmp_path, generated_records):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        workers = 4
+        barrier = ctx.Barrier(workers)
+        processes = [
+            ctx.Process(
+                target=self._race_write,
+                args=(tmp_path, self.KEY, generated_records, barrier),
+            )
+            for _ in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(60)
+            assert process.exitcode == 0
+        cache = TraceCache(root=tmp_path)
+        path = cache.lookup(self.KEY)
+        assert path is not None
+        assert read_trace(path) == generated_records
+        # No stray tmp files left behind by the losing writers.
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_distinct_pids_get_distinct_tmp_paths(self, tmp_path):
+        """The tmp name embeds the pid, so racing processes never
+        clobber each other's partial writes."""
+        cache = TraceCache(root=tmp_path)
+        pending = cache.begin_write(self.KEY)
+        assert str(os.getpid()) in pending.tmp_path.name
+        assert pending.tmp_path != pending.final_path
+
+    def test_reader_racing_writer_sees_old_or_new_never_partial(
+        self, tmp_path, generated_records
+    ):
+        """While a rewrite is pending, lookups serve the committed entry."""
+        cache = TraceCache(root=tmp_path)
+        first = cache.begin_write(self.KEY)
+        write_trace(first.tmp_path, generated_records[:50])
+        first.commit()
+        rewrite = cache.begin_write(self.KEY)
+        write_trace(rewrite.tmp_path, generated_records)
+        # Mid-write: the old entry is still what readers get.
+        assert read_trace(cache.lookup(self.KEY)) == generated_records[:50]
+        rewrite.commit()
+        assert read_trace(cache.lookup(self.KEY)) == generated_records
