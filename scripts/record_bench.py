@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Record a machine-readable replay-throughput baseline.
+
+Runs the batched-replay hot path (the repo's perf-critical loop) a few
+times over a cached trace and writes the best observed throughput to a
+JSON baseline file (``BENCH_baseline.json`` at the repo root by
+default).  The committed baseline gives regression gating something to
+diff against: re-run the script on a quiet machine and compare the
+``records_per_sec`` fields before accepting a perf-sensitive change.
+
+The script also measures the telemetry-enabled pass so the baseline
+records the observability overhead alongside the raw throughput --
+the subsystem's contract is that the *disabled* path is free and the
+*enabled* path stays within a few percent.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_bench.py [--dataset DTCPall]
+        [--scale 1.0] [--seed 0] [--repeats 3] [--out BENCH_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def fresh_observers(dataset):
+    from repro.passive.monitor import PassiveServiceTable
+    from repro.passive.scandetect import ExternalScanDetector
+
+    table = PassiveServiceTable(
+        is_campus=dataset.is_campus,
+        tcp_ports=dataset.tcp_ports,
+        udp_ports=dataset.udp_ports,
+        links=frozenset(dataset.spec.monitored_links),
+    )
+    return table, ExternalScanDetector(is_campus=dataset.is_campus)
+
+
+def timed_pass(trace_path, dataset) -> tuple[int, float]:
+    from repro.passive.monitor import replay_batched
+    from repro.trace.format import read_records_chunked
+
+    started = time.perf_counter()
+    count = replay_batched(
+        read_records_chunked(trace_path), *fresh_observers(dataset)
+    )
+    return count, time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="DTCPall")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_baseline.json")
+    )
+    args = parser.parse_args(argv)
+
+    from repro.datasets import build_dataset
+    from repro.telemetry import (
+        MetricRegistry,
+        NullRegistry,
+        git_sha,
+        set_registry,
+    )
+    from repro.trace.cache import default_trace_cache
+
+    cache = default_trace_cache()
+    if not cache.enabled:
+        print("record_bench needs the trace cache enabled "
+              "(set REPRO_TRACE_CACHE)", file=sys.stderr)
+        return 1
+    dataset = build_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    # Warm pass records the trace on first use; discard its timing.
+    dataset.replay(*fresh_observers(dataset))
+    trace_path = cache.lookup(dataset.trace_cache_key)
+    assert trace_path is not None, "warm pass should have recorded the trace"
+
+    set_registry(NullRegistry())
+    disabled = [timed_pass(trace_path, dataset) for _ in range(args.repeats)]
+    set_registry(MetricRegistry())
+    enabled = [timed_pass(trace_path, dataset) for _ in range(args.repeats)]
+    set_registry(NullRegistry())
+
+    records = disabled[0][0]
+    assert all(count == records for count, _ in disabled + enabled)
+    best_disabled = min(seconds for _, seconds in disabled)
+    best_enabled = min(seconds for _, seconds in enabled)
+    overhead_pct = 100.0 * (best_enabled - best_disabled) / best_disabled
+
+    baseline = {
+        "version": 1,
+        "recorded_unix": int(time.time()),
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "git_sha": git_sha(),
+        "python_version": sys.version.split()[0],
+        "replay": {
+            "records": records,
+            "trace_bytes": trace_path.stat().st_size,
+            "best_seconds": round(best_disabled, 4),
+            "records_per_sec": round(records / best_disabled, 1),
+            "telemetry_best_seconds": round(best_enabled, 4),
+            "telemetry_records_per_sec": round(records / best_enabled, 1),
+            "telemetry_overhead_pct": round(overhead_pct, 2),
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}: {records:,} records, "
+          f"{baseline['replay']['records_per_sec']:,.0f} rec/s "
+          f"(telemetry overhead {overhead_pct:+.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

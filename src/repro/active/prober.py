@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.campus.host import ProbeOutcome
 from repro.campus.population import CampusPopulation
 from repro.active.results import ScanReport
+from repro.telemetry.metrics import registry as _telemetry_registry
 
 
 @dataclass(frozen=True)
@@ -125,7 +126,42 @@ class HalfOpenScanner:
                     address, ports, t, report, faults=faults, machine=machine
                 )
         report.opens.sort()
+        self._flush_sweep_telemetry(report, faults)
         return report
+
+    def _flush_sweep_telemetry(self, report: ScanReport, faults) -> None:
+        """Fold one sweep's outcome tallies into the active registry.
+
+        Runs once per sweep (aggregate counters), so the disabled cost
+        is a handful of no-op calls regardless of probe volume.
+        """
+        reg = _telemetry_registry()
+        counts = report.counts
+        reg.counter(
+            "repro_active_sweeps_total", "Active scan sweeps completed.",
+        ).inc()
+        reg.counter(
+            "repro_active_probes_total", "TCP probes sent by the scanner.",
+        ).inc(counts.total)
+        reg.counter(
+            "repro_active_synacks_total", "Probes answered with SYN-ACK.",
+        ).inc(counts.synack)
+        reg.counter(
+            "repro_active_rsts_total", "Probes answered with RST.",
+        ).inc(counts.rst)
+        reg.counter(
+            "repro_active_silent_probes_total",
+            "Probes that observed silence (down, firewalled, or lost).",
+        ).inc(counts.nothing)
+        if faults is not None:
+            reg.counter(
+                "repro_active_retransmits_total",
+                "Extra transmissions triggered by probe/response loss.",
+            ).inc(faults.retransmits)
+            reg.counter(
+                "repro_active_timeouts_total",
+                "Probes whose every transmission went unanswered.",
+            ).inc(faults.timeouts)
 
     def _probe_address(
         self,
@@ -244,6 +280,7 @@ class HalfOpenScanner:
             elif open_found:
                 report.responding_addresses.add(address)
         report.opens.sort()
+        self._flush_sweep_telemetry(report, faults)
         return report
 
     def scan_with_host_discovery(

@@ -14,11 +14,16 @@ Operational entry points over the library:
     Summarise a recorded trace (record counts, protocol mix, top
     campus responders).
 ``cache``
-    Show the record-once trace cache (location, entries, sizes);
-    ``--clear`` empties it.
+    Show the record-once trace cache (location, entries, sizes, and the
+    persistent hit/miss counters); ``--clear`` empties it.
 ``degradation``
     Sweep seeded capture-loss/outage fault plans against passive and
     active completeness (see :mod:`repro.experiments.degradation`).
+``stats DIR``
+    Read back a ``--telemetry DIR`` export: run manifest, counters and
+    gauges, histograms, and span timings.  ``--require NAME...`` exits
+    non-zero unless every named metric is present and non-zero (the CI
+    smoke check).
 """
 
 from __future__ import annotations
@@ -26,9 +31,14 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from collections import Counter
 
-from repro.core.report import TextTable, format_count_pct
+from repro.core.report import (
+    TextTable,
+    count_rows,
+    format_count,
+    format_count_pct,
+    format_percent,
+)
 
 
 def cmd_datasets(_args: argparse.Namespace) -> int:
@@ -50,18 +60,31 @@ def cmd_survey(args: argparse.Namespace) -> int:
     from repro.core.completeness import summarize_overlap
     from repro.datasets import build_dataset
     from repro.passive.monitor import PassiveServiceTable
+    from repro.telemetry import span
 
-    dataset = build_dataset(args.dataset, seed=args.seed, scale=args.scale)
-    table = PassiveServiceTable(
-        is_campus=dataset.is_campus,
-        tcp_ports=dataset.tcp_ports,
-        udp_ports=dataset.udp_ports,
-    )
-    records = dataset.replay(table)
-    active = {a for a, _ in union_open_endpoints(dataset.scan_reports)}
-    if dataset.udp_report is not None:
-        active |= {a for a, _ in dataset.udp_report.open_endpoints()}
-    summary = summarize_overlap(table.server_addresses(), active)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir:
+        from repro.telemetry import enable
+
+        enable()
+    # The spans are no-ops unless --telemetry enabled a real registry.
+    with span("survey"):
+        with span("build"):
+            dataset = build_dataset(
+                args.dataset, seed=args.seed, scale=args.scale
+            )
+        table = PassiveServiceTable(
+            is_campus=dataset.is_campus,
+            tcp_ports=dataset.tcp_ports,
+            udp_ports=dataset.udp_ports,
+        )
+        with span("replay"):
+            records = dataset.replay(table)
+        with span("analyze"):
+            active = {a for a, _ in union_open_endpoints(dataset.scan_reports)}
+            if dataset.udp_report is not None:
+                active |= {a for a, _ in dataset.udp_report.open_endpoints()}
+            summary = summarize_overlap(table.server_addresses(), active)
     report = TextTable(
         title=(
             f"{args.dataset} (scale {args.scale}, seed {args.seed}): "
@@ -72,6 +95,33 @@ def cmd_survey(args: argparse.Namespace) -> int:
     for name, count, pct in summary.as_rows():
         report.add_row(name, format_count_pct(count, pct))
     print(report.render())
+    if telemetry_dir:
+        from repro.telemetry import RunManifest, registry, write_exports
+
+        reg = registry()
+        reg.gauge(
+            "repro_passive_services_inferred",
+            "Service endpoints the passive table discovered.",
+        ).set(len(table.endpoints()))
+        reg.gauge(
+            "repro_passive_server_addresses",
+            "Addresses with at least one passively discovered service.",
+        ).set(len(table.server_addresses()))
+        reg.gauge(
+            "repro_active_open_addresses",
+            "Addresses with an open port in any active sweep.",
+        ).set(len(active))
+        manifest = RunManifest.collect(
+            command="survey",
+            dataset=args.dataset,
+            seed=args.seed,
+            scale=args.scale,
+        )
+        written = write_exports(telemetry_dir, reg, manifest)
+        print(
+            "telemetry: wrote " + ", ".join(str(path) for path in written),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -110,9 +160,11 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
     def is_campus(address: int) -> bool:
         return (address & mask) == network
 
-    protocols: Counter = Counter()
-    flags: Counter = Counter()
-    responders: Counter = Counter()
+    proto_names = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+    protocols: dict[str, int] = {}
+    flags: dict[str, int] = {}
+    links: dict[str, int] = {}
+    responders: dict[int, int] = {}
     first = last = None
     total = 0
     with TraceReader.open(args.file) as reader:
@@ -120,18 +172,21 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
             total += 1
             first = record.time if first is None else min(first, record.time)
             last = record.time if last is None else max(last, record.time)
-            protocols[record.proto] += 1
+            proto = proto_names.get(record.proto, str(record.proto))
+            protocols[proto] = protocols.get(proto, 0) + 1
+            link = record.link or "unknown"
+            links[link] = links.get(link, 0) + 1
             if record.proto == PROTO_TCP:
                 if record.flags.is_synack:
-                    flags["syn-ack"] += 1
+                    flags["syn-ack"] = flags.get("syn-ack", 0) + 1
                     if is_campus(record.src):
-                        responders[record.src] += 1
+                        responders[record.src] = responders.get(record.src, 0) + 1
                 elif record.flags.is_syn:
-                    flags["syn"] += 1
+                    flags["syn"] = flags.get("syn", 0) + 1
                 elif record.flags.is_rst:
-                    flags["rst"] += 1
+                    flags["rst"] = flags.get("rst", 0) + 1
                 else:
-                    flags["other"] += 1
+                    flags["other"] = flags.get("other", 0) + 1
     table = TextTable(
         title=f"Trace {args.file}: {total:,} records",
         headers=["Measure", "Value"],
@@ -139,19 +194,21 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
     if first is not None:
         table.add_row("time span", f"{first:.1f}s .. {last:.1f}s "
                                    f"({(last - first) / 3600:.1f} h)")
-    names = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
-    for proto, count in protocols.most_common():
-        table.add_row(f"protocol {names.get(proto, proto)}", f"{count:,}")
-    for kind, count in flags.most_common():
-        table.add_row(f"tcp {kind}", f"{count:,}")
+    for label, cell in count_rows(protocols, label_prefix="protocol "):
+        table.add_row(label, cell)
+    for label, cell in count_rows(flags, label_prefix="tcp "):
+        table.add_row(label, cell)
+    for label, cell in count_rows(links, label_prefix="link "):
+        table.add_row(label, cell)
     print(table.render())
     if responders:
         top = TextTable(
             title="Top campus responders (SYN-ACK senders)",
             headers=["Address", "SYN-ACKs"],
         )
-        for address, count in responders.most_common(args.top):
-            top.add_row(format_ipv4(address), f"{count:,}")
+        ranked = sorted(responders.items(), key=lambda item: (-item[1], item[0]))
+        for address, count in ranked[: args.top]:
+            top.add_row(format_ipv4(address), format_count(count))
         print()
         print(top.render())
     return 0
@@ -181,6 +238,115 @@ def cmd_cache(args: argparse.Namespace) -> int:
         table.add_row(path.name, f"{size / 1e6:,.1f} MB")
     table.add_row("total", f"{total / 1e6:,.1f} MB")
     print(table.render())
+    persisted = cache.persistent_stats()
+    lookups = persisted.get("hits", 0) + persisted.get("misses", 0)
+    if lookups:
+        effectiveness = TextTable(
+            title="Cache effectiveness (all runs)",
+            headers=["Measure", "Value"],
+        )
+        effectiveness.add_row("lookups", format_count(lookups))
+        effectiveness.add_row("hits", format_count(persisted.get("hits", 0)))
+        effectiveness.add_row("misses", format_count(persisted.get("misses", 0)))
+        effectiveness.add_row(
+            "corrupt evictions", format_count(persisted.get("evictions", 0))
+        )
+        effectiveness.add_row(
+            "hit rate",
+            format_percent(100.0 * persisted.get("hits", 0) / lookups),
+        )
+        print()
+        print(effectiveness.render())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_run
+
+    manifest, records = load_run(args.directory)
+    if manifest is None and not records:
+        print(f"no telemetry export found in {args.directory}",
+              file=sys.stderr)
+        return 1
+    if manifest is not None:
+        payload = manifest.get("manifest", {})
+        info = TextTable(
+            title=f"Run manifest ({args.directory})",
+            headers=["Field", "Value"],
+        )
+        for key in ("command", "dataset", "seed", "scale", "fault_digest",
+                    "git_sha", "python_version", "repro_version", "platform"):
+            value = payload.get(key)
+            if value is not None:
+                info.add_row(key, value)
+        print(info.render())
+        print()
+
+    def label_suffix(labels: dict) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return "{" + inner + "}"
+
+    scalars: dict[str, float] = {}
+    totals: dict[str, float] = {}
+    histograms = []
+    spans = []
+    for record in records:
+        kind = record.get("type")
+        name = record.get("name", "")
+        if kind in ("counter", "gauge"):
+            scalars[name + label_suffix(record.get("labels", {}))] = (
+                record.get("value", 0)
+            )
+            totals[name] = totals.get(name, 0) + record.get("value", 0)
+        elif kind == "histogram":
+            histograms.append(record)
+            totals[name] = totals.get(name, 0) + record.get("count", 0)
+        elif kind == "span":
+            spans.append(record)
+    if scalars:
+        table = TextTable(
+            title=f"Metrics: {len(scalars)} series",
+            headers=["Metric", "Value"],
+        )
+        for label, cell in count_rows(scalars):
+            table.add_row(label, cell)
+        print(table.render())
+    if histograms:
+        table = TextTable(
+            title="Histograms",
+            headers=["Metric", "Count", "Mean", "Sum"],
+        )
+        for record in histograms:
+            table.add_row(
+                record["name"] + label_suffix(record.get("labels", {})),
+                format_count(record.get("count", 0)),
+                f"{record.get('mean', 0):.6g}",
+                f"{record.get('sum', 0):.6g}",
+            )
+        print()
+        print(table.render())
+    if spans:
+        table = TextTable(
+            title="Spans",
+            headers=["Span", "Count", "Wall s", "CPU s"],
+        )
+        for record in spans:
+            table.add_row(
+                record.get("name", ""),
+                format_count(record.get("count", 0)),
+                f"{record.get('wall_seconds', 0):.3f}",
+                f"{record.get('cpu_seconds', 0):.3f}",
+            )
+        print()
+        print(table.render())
+    missing = [name for name in (args.require or [])
+               if totals.get(name, 0) <= 0]
+    if missing:
+        print("missing or zero metrics: " + ", ".join(missing),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -203,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("dataset")
     survey.add_argument("--scale", type=float, default=0.1)
     survey.add_argument("--seed", type=int, default=0)
+    survey.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="collect metrics/spans and export a run manifest, "
+             "Prometheus text and JSONL into DIR",
+    )
 
     record = commands.add_parser("record", help="record a border trace")
     record.add_argument("dataset")
@@ -223,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--clear", action="store_true",
                        help="remove every cached trace")
 
+    run_stats = commands.add_parser(
+        "stats", help="read back a --telemetry export directory"
+    )
+    run_stats.add_argument("directory")
+    run_stats.add_argument(
+        "--require", nargs="*", default=None, metavar="METRIC",
+        help="exit non-zero unless each named metric is present "
+             "and non-zero (summed across its label sets)",
+    )
+
     from repro.experiments.degradation import configure_parser
 
     degradation = commands.add_parser(
@@ -242,6 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         "record": cmd_record,
         "trace-stats": cmd_trace_stats,
         "cache": cmd_cache,
+        "stats": cmd_stats,
         "degradation": cmd_degradation,
     }
     try:

@@ -23,6 +23,35 @@ def format_count_pct(count: int, pct: float) -> str:
     return f"{count:,} ({format_percent(pct)})"
 
 
+def format_count(value: float) -> str:
+    """Thousands-separated count cells (``"1,748"``; floats keep 2 dp)."""
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def count_rows(
+    counts: dict[str, float | int],
+    label_prefix: str = "",
+    descending: bool = True,
+) -> list[tuple[str, str]]:
+    """Labelled counts as ``(label, formatted)`` table rows.
+
+    The shared shape behind ``python -m repro stats`` and
+    ``trace-stats``: counts sort by value (largest first by default,
+    ties broken by label for stable output) and render through
+    :func:`format_count`.
+    """
+    ordered = sorted(
+        counts.items(),
+        key=lambda item: ((-item[1] if descending else item[1]), item[0]),
+    )
+    return [
+        (f"{label_prefix}{label}", format_count(value))
+        for label, value in ordered
+    ]
+
+
 @dataclass
 class TextTable:
     """A simple aligned text table with a title."""

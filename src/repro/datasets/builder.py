@@ -38,6 +38,7 @@ from repro.net.packet import PacketRecord
 from repro.net.ports import SELECTED_TCP_PORTS, SELECTED_UDP_PORTS
 from repro.simkernel.clock import Calendar, hours
 from repro.simkernel.rng import RngStreams, derive_seed
+from repro.telemetry.metrics import registry as _telemetry_registry
 from repro.trace.cache import default_trace_cache
 from repro.trace.format import TraceWriter, read_records_chunked
 from repro.traffic.generator import (
@@ -187,18 +188,68 @@ class BuiltDataset:
         from time import perf_counter
 
         cache = default_trace_cache()
+        reg = _telemetry_registry()
+        tap = None
+        if reg.enabled:
+            # Appended after the caller's observers, the tap sees the
+            # records they see (including fault drops) without changing
+            # what any of them receives.
+            from repro.telemetry.tap import ReplayTap
+
+            tap = ReplayTap()
+            observers = tuple(observers) + (tap,)
         started = perf_counter()
         if cache.enabled and self._full_pass(end):
             cached = cache.lookup(self.trace_cache_key)
             if cached is not None:
+                source = "cached"
                 count = replay_batched(
                     read_records_chunked(cached), *observers, faults=faults
                 )
             else:
+                source = "recorded"
                 count = self._replay_and_record(cache, observers, faults)
         else:
+            source = "generated"
             count = _replay(self._generate_stream(end), *observers, faults=faults)
-        cache.stats.note_replay(count, perf_counter() - started)
+        elapsed = perf_counter() - started
+        cache.stats.note_replay(count, elapsed)
+        if tap is not None:
+            tap.flush_into(reg)
+            if faults is not None:
+                drops = faults.stats
+                reg.counter(
+                    "repro_passive_dropped_total",
+                    "Records the monitors failed to capture, by cause.",
+                    cause="loss",
+                ).inc(drops.dropped_loss)
+                reg.counter(
+                    "repro_passive_dropped_total",
+                    "Records the monitors failed to capture, by cause.",
+                    cause="outage",
+                ).inc(drops.dropped_outage)
+            reg.counter(
+                "repro_replay_records_total",
+                "Records delivered per replay pass, summed.",
+            ).inc(count)
+            reg.counter(
+                "repro_replay_seconds_total",
+                "Wall time spent inside replay passes.",
+            ).inc(elapsed)
+            reg.counter(
+                "repro_replay_passes_total",
+                "Replay passes by stream source.",
+                source=source,
+            ).inc()
+            reg.histogram(
+                "repro_replay_pass_seconds",
+                "Distribution of whole-pass replay durations.",
+            ).observe(elapsed)
+            if elapsed > 0:
+                reg.gauge(
+                    "repro_replay_records_per_sec",
+                    "Throughput of the most recent replay pass.",
+                ).set(count / elapsed)
         return count
 
     def _replay_and_record(self, cache, observers, faults=None) -> int:

@@ -167,8 +167,13 @@ def registry() -> dict[str, DatasetSpec]:
     return {spec.name: spec for spec in specs}
 
 
+#: Convenience aliases accepted anywhere a dataset name is: ``usc`` is
+#: the paper's main campus observation (USC's /16, the DTCP1-18d row).
+ALIASES = {"usc": "DTCP1-18d"}
+
+
 def get_spec(name: str) -> DatasetSpec:
-    """Look up a dataset by name.
+    """Look up a dataset by name (or a convenience alias).
 
     Raises
     ------
@@ -176,6 +181,7 @@ def get_spec(name: str) -> DatasetSpec:
         With the list of valid names, when *name* is unknown.
     """
     specs = registry()
+    name = ALIASES.get(name, name)
     if name not in specs:
         raise KeyError(f"unknown dataset {name!r}; known: {sorted(specs)}")
     return specs[name]

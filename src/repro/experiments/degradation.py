@@ -268,23 +268,62 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--out", default=None,
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="collect metrics/spans and export a run manifest, "
+             "Prometheus text and JSONL into DIR",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
-    result = run_degradation(
-        dataset=args.dataset,
-        seed=args.seed,
-        scale=args.scale,
-        loss_rates=tuple(args.loss_rates),
-        outage_fractions=tuple(args.outage_fractions),
-        jobs=args.jobs,
-    )
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir:
+        from repro.telemetry import enable, span
+
+        enable()
+        with span("degradation"):
+            result = run_degradation(
+                dataset=args.dataset,
+                seed=args.seed,
+                scale=args.scale,
+                loss_rates=tuple(args.loss_rates),
+                outage_fractions=tuple(args.outage_fractions),
+                jobs=args.jobs,
+            )
+    else:
+        result = run_degradation(
+            dataset=args.dataset,
+            seed=args.seed,
+            scale=args.scale,
+            loss_rates=tuple(args.loss_rates),
+            outage_fractions=tuple(args.outage_fractions),
+            jobs=args.jobs,
+        )
     report = degradation_report(result)
     print(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    if telemetry_dir:
+        from repro.telemetry import RunManifest, registry, write_exports
+
+        manifest = RunManifest.collect(
+            command="degradation",
+            dataset=args.dataset,
+            seed=args.seed,
+            scale=args.scale,
+            arguments={
+                "loss_rates": list(args.loss_rates),
+                "outage_fractions": list(args.outage_fractions),
+                "jobs": args.jobs,
+            },
+        )
+        written = write_exports(telemetry_dir, registry(), manifest)
+        print(
+            "telemetry: wrote " + ", ".join(str(path) for path in written),
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -75,6 +75,11 @@ class ProbeFaults:
         self._response_loss = plan.response_loss_rate
         self._attempts = 1 + plan.probe_retries
         self._backoff = plan.retry_backoff_seconds
+        #: Plain-int tallies for telemetry: extra transmissions sent and
+        #: probes that ended in silence.  The scanner folds them into
+        #: the metric registry once per sweep.
+        self.retransmits = 0
+        self.timeouts = 0
 
     def _machine(self, machine: int) -> _MachineState:
         state = self._machines.get(machine)
@@ -117,6 +122,7 @@ class ProbeFaults:
         for attempt in range(self._attempts):
             if attempt:
                 delay += self._backoff * (2.0 ** (attempt - 1))
+                self.retransmits += 1
             if self._probe_loss > 0.0 and rng_random() < self._probe_loss:
                 continue  # SYN lost in flight; silence, retransmit
             if not answers:
@@ -124,4 +130,5 @@ class ProbeFaults:
             if self._response_loss > 0.0 and rng_random() < self._response_loss:
                 continue  # answer lost on the return path
             return outcome, delay
+        self.timeouts += 1
         return ProbeOutcome.NOTHING, delay

@@ -21,6 +21,8 @@ import math
 import random
 from typing import Iterator, Sequence, TypeVar
 
+from repro.telemetry.metrics import registry as _telemetry_registry
+
 T = TypeVar("T")
 
 
@@ -57,6 +59,12 @@ class RngStreams:
             return existing
         rng = random.Random(derive_seed(self.master_seed, name))
         self._streams[name] = rng
+        # Stream creation is rare (a handful per dataset build), so this
+        # aggregate counter goes through the registry unconditionally.
+        _telemetry_registry().counter(
+            "repro_simkernel_rng_streams_total",
+            "Named RNG streams created from master seeds.",
+        ).inc()
         return rng
 
     def fork(self, name: str) -> "RngStreams":

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.simkernel.clock import Calendar, SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.telemetry.metrics import registry as _telemetry_registry
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,22 @@ class PeriodicSchedule:
         """Yield all scheduled times t with ``start <= t < end``."""
         if not self.anchors or end <= start:
             return
+        reg = _telemetry_registry()
+        if not reg.enabled:
+            yield from self._occurrences(start, end)
+            return
+        count = 0
+        try:
+            for t in self._occurrences(start, end):
+                count += 1
+                yield t
+        finally:
+            reg.counter(
+                "repro_simkernel_schedule_occurrences_total",
+                "Periodic-schedule firings yielded (e.g. active scan starts).",
+            ).inc(count)
+
+    def _occurrences(self, start: float, end: float) -> Iterator[float]:
         start_moment = self.calendar.to_datetime(start)
         midnight = start_moment.replace(hour=0, minute=0, second=0, microsecond=0)
         day_base = self.calendar.to_sim(midnight)

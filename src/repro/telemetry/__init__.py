@@ -1,0 +1,83 @@
+"""Zero-overhead-by-default observability for the repro pipeline.
+
+The subsystem has four pieces:
+
+* :mod:`.metrics` -- ``Counter`` / ``Gauge`` / ``Histogram`` primitives
+  in a :class:`MetricRegistry`, with a module-level *active* registry
+  that defaults to a shared no-op :class:`NullRegistry`;
+* :mod:`.spans` -- ``span(name)`` context-manager tracing with nested
+  per-phase wall/CPU aggregates;
+* :mod:`.manifest` -- :class:`RunManifest` snapshots of what ran under
+  what configuration (dataset, seed, scale, fault digest, git SHA);
+* :mod:`.export` -- Prometheus text and JSON-lines exporters, written
+  per run into a ``--telemetry DIR`` directory and read back by
+  ``python -m repro stats``.
+
+Instrumentation contract: enabling telemetry must never change any
+experiment result -- only record what happened.  With telemetry off
+(the default) instrumented code pays at most one no-op call per
+aggregate update, and hot paths are gated on ``registry().enabled``.
+"""
+
+from repro.telemetry.export import (
+    JSONL_FILE,
+    MANIFEST_FILE,
+    PROMETHEUS_FILE,
+    jsonl_text,
+    load_metrics,
+    load_run,
+    prometheus_text,
+    write_exports,
+)
+from repro.telemetry.manifest import (
+    RunManifest,
+    fault_plan_digest,
+    git_sha,
+    load_manifest,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+    SpanAggregate,
+    disable,
+    enable,
+    registry,
+    set_registry,
+    telemetry_enabled,
+)
+from repro.telemetry.spans import SpanTimer, span
+from repro.telemetry.tap import ReplayTap
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "SpanAggregate",
+    "SpanTimer",
+    "ReplayTap",
+    "RunManifest",
+    "DEFAULT_TIME_BUCKETS",
+    "JSONL_FILE",
+    "MANIFEST_FILE",
+    "PROMETHEUS_FILE",
+    "disable",
+    "enable",
+    "fault_plan_digest",
+    "git_sha",
+    "jsonl_text",
+    "load_manifest",
+    "load_metrics",
+    "load_run",
+    "prometheus_text",
+    "registry",
+    "set_registry",
+    "span",
+    "telemetry_enabled",
+    "write_exports",
+]

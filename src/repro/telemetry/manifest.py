@@ -1,0 +1,131 @@
+"""Run manifests: what ran, under what configuration.
+
+A :class:`RunManifest` snapshots everything needed to interpret (and
+re-run) one instrumented invocation: the command and its arguments, the
+dataset/seed/scale triple, a digest of the fault plan, the git SHA the
+code ran at, and interpreter/package versions.  Exporters attach the
+final metric values next to it (``manifest.json`` in the telemetry
+directory), so a single file answers both "what was measured" and
+"what came out".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Bump when the manifest layout changes.
+MANIFEST_VERSION = 1
+
+
+def fault_plan_digest(plan) -> str | None:
+    """Stable digest of a :class:`repro.faults.plan.FaultPlan`.
+
+    The plan is a frozen dataclass, so its ``repr`` enumerates every
+    field deterministically; hashing it identifies the fault
+    configuration without embedding all the rates in the manifest.
+    ``None`` plans (pristine runs) digest to ``None``.
+    """
+    if plan is None:
+        return None
+    return hashlib.sha256(repr(plan).encode("utf-8")).hexdigest()[:16]
+
+
+def git_sha() -> str | None:
+    """The repository HEAD this code runs from, or None outside git."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+@dataclass
+class RunManifest:
+    """Configuration snapshot of one instrumented run."""
+
+    command: str
+    dataset: str | None = None
+    seed: int | None = None
+    scale: float | None = None
+    fault_digest: str | None = None
+    arguments: dict = field(default_factory=dict)
+    git_sha: str | None = None
+    python_version: str = ""
+    repro_version: str = ""
+    platform: str = ""
+    created_unix: float = 0.0
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        dataset: str | None = None,
+        seed: int | None = None,
+        scale: float | None = None,
+        faults=None,
+        arguments: dict | None = None,
+    ) -> "RunManifest":
+        """Snapshot the environment around one run."""
+        import repro
+
+        return cls(
+            command=command,
+            dataset=dataset,
+            seed=seed,
+            scale=scale,
+            fault_digest=fault_plan_digest(faults),
+            arguments=dict(arguments or {}),
+            git_sha=git_sha(),
+            python_version=sys.version.split()[0],
+            repro_version=getattr(repro, "__version__", ""),
+            platform=platform.platform(),
+            created_unix=time.time(),
+        )
+
+    def to_json_dict(self, metrics: dict | None = None) -> dict:
+        """The manifest (plus an optional metrics snapshot) as JSON data."""
+        payload = {"version": MANIFEST_VERSION, "manifest": asdict(self)}
+        if metrics is not None:
+            payload["metrics"] = metrics
+        return payload
+
+    def write(self, path: str | Path, metrics: dict | None = None) -> Path:
+        """Write ``manifest.json``-style output; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_json_dict(metrics), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def load_manifest(path: str | Path) -> dict | None:
+    """Read a manifest payload written by :meth:`RunManifest.write`.
+
+    Returns the full payload dict (``version`` / ``manifest`` /
+    optional ``metrics``), or None when missing or unreadable.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "manifest" not in payload:
+        return None
+    return payload

@@ -1,0 +1,64 @@
+"""Lightweight tracing spans.
+
+``span(name)`` times a block of work with both a monotonic wall clock
+(:func:`time.perf_counter`) and the process CPU clock
+(:func:`time.process_time`), and accumulates the result into the active
+registry's per-phase aggregates.  Spans nest: the aggregate key is the
+``/``-joined path of the open spans, so ``survey/build`` and
+``survey/replay`` are separate phases under one ``survey`` root::
+
+    from repro.telemetry import span
+
+    with span("survey"):
+        with span("build"):
+            dataset = build_dataset(...)
+        with span("replay"):
+            dataset.replay(table)
+
+Aggregation, not event logging: each path keeps count, total wall and
+CPU seconds, and min/max wall time (:class:`.metrics.SpanAggregate`) --
+enough for "where did the time go" without an unbounded trace buffer.
+With telemetry disabled, ``span()`` returns a shared no-op context
+manager, so an instrumented block costs two trivial calls.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter, process_time
+
+from repro.telemetry.metrics import MetricRegistry, SpanAggregate, registry
+
+
+class SpanTimer:
+    """Context manager timing one span on a specific registry."""
+
+    __slots__ = ("_registry", "_name", "path", "_wall0", "_cpu0")
+
+    def __init__(self, owner: MetricRegistry, name: str) -> None:
+        self._registry = owner
+        self._name = name
+        self.path = name
+
+    def __enter__(self) -> "SpanTimer":
+        stack = self._registry._span_stack
+        stack.append(self._name)
+        self.path = "/".join(stack)
+        self._wall0 = perf_counter()
+        self._cpu0 = process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        wall = perf_counter() - self._wall0
+        cpu = process_time() - self._cpu0
+        owner = self._registry
+        if owner._span_stack and owner._span_stack[-1] == self._name:
+            owner._span_stack.pop()
+        aggregate = owner.spans.get(self.path)
+        if aggregate is None:
+            aggregate = owner.spans[self.path] = SpanAggregate(name=self.path)
+        aggregate.add(wall, cpu)
+
+
+def span(name: str):
+    """Open a timing span on the active registry (no-op when disabled)."""
+    return registry().span(name)

@@ -27,11 +27,15 @@ The default location is ``~/.cache/repro``.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.telemetry.metrics import registry as _telemetry_registry
 
 #: Environment variable overriding the cache directory (or disabling it).
 ENV_VAR = "REPRO_TRACE_CACHE"
@@ -43,6 +47,11 @@ CACHE_FORMAT_VERSION = 1
 
 #: Cache entry suffix (same format as ``python -m repro record`` output).
 TRACE_SUFFIX = ".rprt"
+
+#: Cross-process hit/miss accumulator kept inside the cache directory.
+STATS_FILE = "cache-stats.json"
+
+_PERSISTED_FIELDS = ("hits", "misses", "evictions")
 
 
 @dataclass
@@ -57,6 +66,7 @@ class TraceCacheStats:
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     records_replayed: int = 0
     replay_seconds: float = 0.0
 
@@ -113,6 +123,10 @@ class TraceCache:
     root: Path = field(default_factory=lambda: Path.home() / ".cache" / "repro")
     enabled: bool = True
     stats: TraceCacheStats = field(default_factory=TraceCacheStats)
+    #: Watermarks of counters already folded into ``cache-stats.json``,
+    #: so repeated flushes write only deltas.
+    _flushed: dict = field(default_factory=dict, repr=False)
+    _atexit_registered: bool = field(default=False, repr=False)
 
     @classmethod
     def from_env(cls) -> "TraceCache":
@@ -143,18 +157,41 @@ class TraceCache:
         """
         if not self.enabled:
             return None
+        self._register_flush()
+        reg = _telemetry_registry()
         path = self.path_for(key)
         if path.is_file():
             from repro.trace.format import trace_is_intact
 
             if trace_is_intact(path):
                 self.stats.hits += 1
+                reg.counter(
+                    "repro_cache_hits_total",
+                    "Trace-cache lookups served from a stored recording.",
+                ).inc()
+                if reg.enabled:
+                    try:
+                        reg.counter(
+                            "repro_cache_bytes_read_total",
+                            "Bytes of stored trace handed to batched replay.",
+                        ).inc(path.stat().st_size)
+                    except OSError:
+                        pass
                 return path
+            self.stats.evictions += 1
+            reg.counter(
+                "repro_cache_corrupt_evictions_total",
+                "Damaged cache entries removed at lookup time.",
+            ).inc()
             try:
                 path.unlink()
             except FileNotFoundError:
                 pass
         self.stats.misses += 1
+        reg.counter(
+            "repro_cache_misses_total",
+            "Trace-cache lookups that fell back to fresh generation.",
+        ).inc()
         return None
 
     def begin_write(self, key: tuple) -> PendingTrace:
@@ -180,7 +217,81 @@ class TraceCache:
                 removed += 1
             except FileNotFoundError:
                 pass
+        try:
+            self.stats_path().unlink()
+        except OSError:
+            pass
+        self.stats = TraceCacheStats()
+        self._flushed = {}
         return removed
+
+    # ---- persistent hit/miss counters -------------------------------
+
+    def stats_path(self) -> Path:
+        """Where the cross-process counters live (inside the cache)."""
+        return self.root / STATS_FILE
+
+    def _register_flush(self) -> None:
+        if not self._atexit_registered:
+            self._atexit_registered = True
+            atexit.register(self.flush_persistent_stats)
+
+    def _read_stats_file(self) -> dict:
+        try:
+            payload = json.loads(self.stats_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {name: 0 for name in _PERSISTED_FIELDS}
+        return {
+            name: int(payload.get(name, 0) or 0) for name in _PERSISTED_FIELDS
+        }
+
+    def flush_persistent_stats(self) -> None:
+        """Fold this process's unflushed counters into ``cache-stats.json``.
+
+        Best-effort by design: counters are advisory, so a read-modify-
+        write race with another process may under-count, and any OSError
+        is swallowed.  Only deltas since the previous flush are written,
+        making the method safe to call any number of times (it also runs
+        atexit once a lookup has happened).
+        """
+        if not self.enabled:
+            return
+        deltas = {
+            name: getattr(self.stats, name) - self._flushed.get(name, 0)
+            for name in _PERSISTED_FIELDS
+        }
+        if not any(deltas.values()):
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = self._read_stats_file()
+            for name, delta in deltas.items():
+                payload[name] += delta
+            tmp = self.stats_path().with_name(
+                f"{STATS_FILE}.tmp.{os.getpid()}"
+            )
+            tmp.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.stats_path())
+        except OSError:
+            return
+        for name in _PERSISTED_FIELDS:
+            self._flushed[name] = getattr(self.stats, name)
+
+    def persistent_stats(self) -> dict:
+        """Accumulated hit/miss/eviction counts across all processes.
+
+        The stored file plus this process's not-yet-flushed deltas, so
+        ``python -m repro cache`` reflects the current process too.
+        """
+        payload = self._read_stats_file()
+        for name in _PERSISTED_FIELDS:
+            payload[name] += getattr(self.stats, name) - self._flushed.get(
+                name, 0
+            )
+        return payload
 
 
 _default: TraceCache | None = None

@@ -18,6 +18,7 @@ from repro.net.packet import PacketRecord
 from repro.simkernel.clock import Calendar
 from repro.simkernel.rng import RngStreams
 from repro.simkernel.schedule import DiurnalProfile
+from repro.telemetry.metrics import registry as _telemetry_registry
 from repro.traffic.clients import client_flow_stream
 from repro.traffic.noise import outbound_noise_stream
 from repro.traffic.scans import ScanPlan, scan_packet_stream
@@ -77,22 +78,65 @@ def border_packet_stream(
     order-insensitive.
     """
     streams = RngStreams(seed)
+    reg = _telemetry_registry()
+    instrumented = reg.enabled
 
     def flow_packets() -> Iterator[PacketRecord]:
-        for flow in client_flow_stream(
+        flows = client_flow_stream(
             population, streams, mix.diurnal, start, end, mix.academic_fraction
-        ):
-            yield from flow.packets()
+        )
+        if not instrumented:
+            for flow in flows:
+                yield from flow.packets()
+            return
+        # Gated wrapper: count flows and their packets, flushing once
+        # when the source drains.  The records the merge sees are the
+        # same objects either way.
+        count = 0
+        try:
+            for flow in flows:
+                count += 1
+                yield from flow.packets()
+        finally:
+            reg.counter(
+                "repro_traffic_flows_total",
+                "Traffic flows generated, by source category.",
+                category="client",
+            ).inc(count)
 
-    sources: list[Iterator[PacketRecord]] = [flow_packets()]
+    def counted(source: Iterator[PacketRecord], category: str) -> Iterator[PacketRecord]:
+        count = 0
+        try:
+            for record in source:
+                count += 1
+                yield record
+        finally:
+            reg.counter(
+                "repro_traffic_records_total",
+                "Packet records generated, by source category.",
+                category=category,
+            ).inc(count)
+
+    labelled: list[tuple[str, Iterator[PacketRecord]]] = [
+        ("client", flow_packets())
+    ]
     if mix.scan_plan.sweeps:
-        sources.append(scan_packet_stream(population, mix.scan_plan, streams, end))
+        labelled.append(
+            ("scan", scan_packet_stream(population, mix.scan_plan, streams, end))
+        )
     if mix.outbound_noise_flows_per_day > 0:
-        sources.append(
-            outbound_noise_stream(
-                population, streams, mix.outbound_noise_flows_per_day, start, end
+        labelled.append(
+            (
+                "noise",
+                outbound_noise_stream(
+                    population, streams, mix.outbound_noise_flows_per_day, start, end
+                ),
             )
         )
+    if instrumented:
+        sources = [counted(source, category) for category, source in labelled]
+    else:
+        sources = [source for _, source in labelled]
     if len(sources) == 1:
         return sources[0]
     return heapq.merge(*sources, key=lambda record: record.time)

@@ -66,6 +66,7 @@ class TestReadme:
             "repro.simkernel", "repro.net", "repro.campus", "repro.traffic",
             "repro.passive", "repro.active", "repro.webclassify",
             "repro.trace", "repro.core", "repro.datasets", "repro.experiments",
+            "repro.telemetry",
         ):
             assert package in text, f"README missing {package}"
 
