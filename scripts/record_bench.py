@@ -11,7 +11,10 @@ diff against: re-run the script on a quiet machine and compare the
 The script also measures the telemetry-enabled pass so the baseline
 records the observability overhead alongside the raw throughput --
 the subsystem's contract is that the *disabled* path is free and the
-*enabled* path stays within a few percent.
+*enabled* path stays within a few percent -- plus a streaming-ingest
+row (the sharded pipeline of :mod:`repro.stream` over the same cached
+trace), so stream-engine regressions gate the same way replay
+regressions do (``scripts/check_bench.py``).
 
 Usage::
 
@@ -55,12 +58,30 @@ def timed_pass(trace_path, dataset) -> tuple[int, float]:
     return count, time.perf_counter() - started
 
 
+def timed_stream_pass(args, dataset, shards: int) -> tuple[int, float]:
+    """One full streaming-ingest run (sharded pipeline, cached trace)."""
+    from repro.stream import StreamConfig, StreamEngine
+
+    engine = StreamEngine(
+        StreamConfig(
+            dataset=args.dataset, seed=args.seed, scale=args.scale,
+            shards=shards,
+        ),
+        dataset=dataset,
+    )
+    started = time.perf_counter()
+    result = engine.run()
+    return result.records_read, time.perf_counter() - started
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dataset", default="DTCPall")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--stream-shards", type=int, default=2,
+                        help="shard count for the streaming-ingest row")
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_baseline.json")
     )
@@ -91,9 +112,16 @@ def main(argv: list[str] | None = None) -> int:
     set_registry(MetricRegistry())
     enabled = [timed_pass(trace_path, dataset) for _ in range(args.repeats)]
     set_registry(NullRegistry())
+    streamed = [
+        timed_stream_pass(args, dataset, args.stream_shards)
+        for _ in range(args.repeats)
+    ]
 
     records = disabled[0][0]
     assert all(count == records for count, _ in disabled + enabled)
+    stream_records = streamed[0][0]
+    assert all(count == stream_records for count, _ in streamed)
+    best_stream = min(seconds for _, seconds in streamed)
     best_disabled = min(seconds for _, seconds in disabled)
     best_enabled = min(seconds for _, seconds in enabled)
     overhead_pct = 100.0 * (best_enabled - best_disabled) / best_disabled
@@ -116,13 +144,21 @@ def main(argv: list[str] | None = None) -> int:
             "telemetry_records_per_sec": round(records / best_enabled, 1),
             "telemetry_overhead_pct": round(overhead_pct, 2),
         },
+        "stream": {
+            "records": stream_records,
+            "shards": args.stream_shards,
+            "best_seconds": round(best_stream, 4),
+            "records_per_sec": round(stream_records / best_stream, 1),
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     print(f"wrote {out}: {records:,} records, "
           f"{baseline['replay']['records_per_sec']:,.0f} rec/s "
-          f"(telemetry overhead {overhead_pct:+.2f}%)")
+          f"(telemetry overhead {overhead_pct:+.2f}%), "
+          f"stream {baseline['stream']['records_per_sec']:,.0f} rec/s "
+          f"({args.stream_shards} shards)")
     return 0
 
 

@@ -52,6 +52,36 @@ def count_rows(
     ]
 
 
+def survey_table(
+    dataset: str,
+    scale: float,
+    seed: int,
+    records: int,
+    scans: int,
+    summary,
+) -> "TextTable":
+    """The passive/active overlap report (the quickstart's output).
+
+    Shared by the batch path (``python -m repro survey``) and the
+    streaming engine's final merge: both build their report through
+    this one function, which is what makes a streamed report
+    byte-identical to the batch report for the same configuration.
+    *summary* is any object with ``as_rows()`` yielding
+    ``(label, count, percent)`` rows
+    (:class:`repro.core.completeness.CompletenessSummary`).
+    """
+    table = TextTable(
+        title=(
+            f"{dataset} (scale {scale}, seed {seed}): "
+            f"{records:,} headers, {scans} scans"
+        ),
+        headers=["Measure", "Servers"],
+    )
+    for name, count, pct in summary.as_rows():
+        table.add_row(name, format_count_pct(count, pct))
+    return table
+
+
 @dataclass
 class TextTable:
     """A simple aligned text table with a title."""

@@ -146,3 +146,46 @@ class CaptureFilter:
         """Batch counterpart of :meth:`keep` (same decisions, in order)."""
         keep = self.keep
         return [record for record in records if keep(record)]
+
+    # ---- checkpoint support -------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the filter's mutable state (picklable plain data).
+
+        A filter is single-pass, so a resumed stream run cannot build a
+        fresh one -- it must continue the *same* per-link loss processes
+        (RNG position, any in-progress burst) or the post-resume drop
+        pattern would diverge from an uninterrupted run.  Outage windows
+        are pure functions of the plan and are not stored.
+        """
+        return {
+            "stats": {
+                "kept": self.stats.kept,
+                "dropped_loss": self.stats.dropped_loss,
+                "dropped_outage": self.stats.dropped_outage,
+            },
+            "links": {
+                link: {
+                    "rng_state": state.rng.getstate(),
+                    "burst_remaining": state.burst_remaining,
+                }
+                for link, state in self._links.items()
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a fresh filter.
+
+        The filter must have been built from the same plan and duration
+        the snapshot was taken under; per-link states not present in
+        the snapshot stay lazily initialised as usual.
+        """
+        stats = payload.get("stats", {})
+        self.stats.kept = int(stats.get("kept", 0))
+        self.stats.dropped_loss = int(stats.get("dropped_loss", 0))
+        self.stats.dropped_outage = int(stats.get("dropped_outage", 0))
+        self._links.clear()
+        for link, saved in payload.get("links", {}).items():
+            state = self._state(link)
+            state.rng.setstate(saved["rng_state"])
+            state.burst_remaining = int(saved["burst_remaining"])

@@ -1,0 +1,73 @@
+"""Online streaming discovery: sharded ingestion, watermarks, checkpoints.
+
+The batch pipeline answers "what did we know at hour H" by replaying
+the whole trace from zero; this subsystem answers it *live*.  Records
+flow through a sharded pipeline partitioned by campus server address
+(:mod:`.shard`), a bounded-queue ingestor keeps memory flat regardless
+of trace length (:mod:`.ingest`), periodic watermarks expose windowed
+completeness mid-stream (:mod:`.watermark`), and versioned atomic
+checkpoints make a killed run resumable (:mod:`.checkpoint`).  The
+engine (:mod:`.engine`) ties the pieces together and merges shard
+states into the ordinary report structures -- byte-identical to the
+batch path on the same (seed, scale, faults) configuration.
+
+Entry point: ``python -m repro stream DATASET --shards N``.
+"""
+
+from repro.stream.checkpoint import (
+    STREAM_CHECKPOINT_VERSION,
+    CheckpointError,
+    checkpoint_config,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.engine import (
+    StreamConfig,
+    StreamEngine,
+    StreamResult,
+    batch_survey_report,
+)
+from repro.stream.ingest import (
+    DEFAULT_MAX_QUEUE_CHUNKS,
+    ShardWorkerError,
+    StreamIngestor,
+)
+from repro.stream.shard import (
+    ShardState,
+    merge_shards,
+    merged_last_seen,
+    owning_address,
+    shard_of,
+    split_batch,
+)
+from repro.stream.watermark import (
+    ActiveTimeline,
+    Watermark,
+    emit_schedule,
+    windowed_summary,
+)
+
+__all__ = [
+    "ActiveTimeline",
+    "CheckpointError",
+    "DEFAULT_MAX_QUEUE_CHUNKS",
+    "STREAM_CHECKPOINT_VERSION",
+    "ShardState",
+    "ShardWorkerError",
+    "StreamConfig",
+    "StreamEngine",
+    "StreamIngestor",
+    "StreamResult",
+    "Watermark",
+    "batch_survey_report",
+    "checkpoint_config",
+    "emit_schedule",
+    "load_checkpoint",
+    "merge_shards",
+    "merged_last_seen",
+    "owning_address",
+    "save_checkpoint",
+    "shard_of",
+    "split_batch",
+    "windowed_summary",
+]

@@ -1,0 +1,537 @@
+"""The streaming discovery engine: run loop, resume, and final merge.
+
+:class:`StreamEngine` consumes a dataset's border capture as an
+unbounded stream of record batches -- from the record-once trace cache
+when a recording exists (:func:`repro.trace.format.read_records_chunked`
+with a seek past the resume offset), regenerated from the traffic model
+otherwise -- and drives the sharded pipeline end to end:
+
+1. the driving thread reads one batch, applies the run's fault filter
+   (capture loss and monitor outages, in stream order -- the same drop
+   pattern the batch path produces), routes it with
+   :func:`repro.stream.shard.split_batch`, and hands the parts to the
+   :class:`repro.stream.ingest.StreamIngestor`;
+2. when stream time crosses an emission mark, the engine drains the
+   shard queues and emits a :class:`repro.stream.watermark.Watermark`
+   -- windowed completeness without replay;
+3. when stream time crosses a checkpoint mark, it drains and writes an
+   atomic versioned snapshot (:mod:`repro.stream.checkpoint`), so a
+   killed run resumes from the last checkpoint and converges to the
+   identical final report;
+4. at end of stream the shard states merge into one ordinary
+   :class:`~repro.passive.monitor.PassiveServiceTable` and the final
+   report renders through the same function as ``python -m repro
+   survey`` -- byte-identical to the batch path on the same
+   (seed, scale, faults).
+
+Memory is flat in trace length: the engine holds one decoded batch
+plus the bounded shard queues; nothing retains the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Iterator
+
+from repro.active.results import union_open_endpoints
+from repro.core.completeness import CompletenessSummary, summarize_overlap
+from repro.core.report import survey_table
+from repro.net.packet import PacketRecord
+from repro.passive.monitor import Endpoint, PassiveServiceTable
+from repro.stream.checkpoint import (
+    checkpoint_config,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.ingest import DEFAULT_MAX_QUEUE_CHUNKS, StreamIngestor
+from repro.stream.shard import ShardState, merge_shards, merged_last_seen, split_batch
+from repro.stream.watermark import ActiveTimeline, Watermark, emit_schedule
+from repro.telemetry.metrics import registry as _telemetry_registry
+from repro.trace.cache import default_trace_cache
+from repro.trace.format import DEFAULT_BATCH_RECORDS, read_records_chunked
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Everything one stream run is a function of.
+
+    ``emit_every`` and ``checkpoint_every`` are in dataset seconds
+    (the CLI converts from sim-hours); ``None`` disables periodic
+    emission (a final watermark at end of stream is always produced)
+    or checkpointing respectively.  ``end`` truncates the stream (the
+    memory-flatness test compares 1x vs 4x duration); ``None`` streams
+    the dataset's full observation.
+    """
+
+    dataset: str
+    seed: int = 0
+    scale: float = 1.0
+    shards: int = 1
+    batch_records: int = DEFAULT_BATCH_RECORDS
+    emit_every: float | None = None
+    checkpoint_every: float | None = None
+    checkpoint_path: str | None = None
+    max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS
+    faults: object | None = None
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.batch_records < 1:
+            raise ValueError("batch_records must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+
+
+@dataclass
+class StreamResult:
+    """What a stream run produced.
+
+    ``finished`` is False only for runs stopped early via
+    ``stop_after_records`` (the in-process kill simulation); such
+    results carry progress counters but no report.
+    """
+
+    finished: bool
+    records_read: int
+    records_delivered: int
+    checkpoints_written: int
+    resumed: bool
+    watermarks: list[Watermark] = field(default_factory=list)
+    summary: CompletenessSummary | None = None
+    report: str | None = None
+    table: PassiveServiceTable | None = None
+    last_seen: dict[Endpoint, float] = field(default_factory=dict)
+
+
+def _batched(
+    stream: Iterator[PacketRecord], size: int
+) -> Iterator[list[PacketRecord]]:
+    """Chunk a record iterator into lists of *size* (last may be short)."""
+    batch: list[PacketRecord] = []
+    append = batch.append
+    for record in stream:
+        append(record)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
+
+
+class StreamEngine:
+    """Drive one streaming discovery run (see the module docstring)."""
+
+    def __init__(self, config: StreamConfig, dataset=None) -> None:
+        self.config = config
+        plan = config.faults
+        if plan is not None and getattr(plan, "is_null", False):
+            plan = None
+        self.plan = plan
+        if dataset is None:
+            from repro.datasets import build_dataset
+
+            dataset = build_dataset(
+                config.dataset, seed=config.seed, scale=config.scale,
+                faults=plan,
+            )
+        self.dataset = dataset
+
+    # ---- identity & sources -------------------------------------------
+
+    def _identity(self) -> dict:
+        digest = None
+        if self.plan is not None:
+            from repro.telemetry.manifest import fault_plan_digest
+
+            digest = fault_plan_digest(self.plan)
+        config = self.config
+        return checkpoint_config(
+            config.dataset, config.seed, config.scale, config.shards, digest
+        )
+
+    def _effective_end(self) -> float:
+        duration = self.dataset.duration
+        if self.config.end is None:
+            return duration
+        return min(self.config.end, duration)
+
+    def _source_batches(
+        self, skip: int, end: float
+    ) -> Iterator[list[PacketRecord]]:
+        """Record batches starting *skip* records into the stream.
+
+        Full-duration runs read the cached trace when one exists (the
+        resume offset is a single seek -- records are fixed width);
+        partial runs and cache misses regenerate the stream and skip
+        the prefix, which is cheap because skipped records feed no
+        observers.  Either way the records are identical, so a resumed
+        run continues the exact stream the killed run was consuming.
+        """
+        config = self.config
+        dataset = self.dataset
+        if end >= dataset.duration:
+            cache = default_trace_cache()
+            if cache.enabled:
+                cached = cache.lookup(dataset.trace_cache_key)
+                if cached is not None:
+                    yield from read_records_chunked(
+                        cached, config.batch_records, skip_records=skip
+                    )
+                    return
+        stream = dataset._generate_stream(end)
+        if skip:
+            next(islice(stream, skip - 1, skip), None)
+        yield from _batched(stream, config.batch_records)
+
+    # ---- watermarks & checkpoints --------------------------------------
+
+    def _watermark(
+        self,
+        mark: float,
+        records: int,
+        states: list[ShardState],
+        active: ActiveTimeline,
+    ) -> Watermark:
+        """Completeness at *mark* from live (drained) shard state.
+
+        The current batch may straddle the mark, so passive state is
+        filtered by evidence time: an endpoint counts iff its first
+        evidence is at or before the mark, exactly the set a batch
+        replay truncated at the mark would report.
+        """
+        passive = {
+            address
+            for state in states
+            for (address, _port, _proto), seen in state.table.first_seen.items()
+            if seen <= mark
+        }
+        summary = summarize_overlap(passive, set(active.addresses_by(mark)))
+        return Watermark(time=mark, records=records, summary=summary)
+
+    def _save_checkpoint(
+        self,
+        path: Path,
+        identity: dict,
+        states: list[ShardState],
+        faults,
+        progress: dict,
+    ) -> None:
+        payload = {
+            "config": identity,
+            "faults": faults.state_dict() if faults is not None else None,
+            "shards": [state.state_dict() for state in states],
+        }
+        payload.update(progress)
+        started = perf_counter()
+        size = save_checkpoint(path, payload)
+        elapsed = perf_counter() - started
+        reg = _telemetry_registry()
+        if reg.enabled:
+            reg.counter(
+                "repro_stream_checkpoints_total",
+                "Checkpoints written by stream runs.",
+            ).inc()
+            reg.histogram(
+                "repro_stream_checkpoint_bytes",
+                "Size of each written stream checkpoint.",
+            ).observe(size)
+            reg.histogram(
+                "repro_stream_checkpoint_seconds",
+                "Wall time to serialise and atomically write a checkpoint.",
+            ).observe(elapsed)
+
+    # ---- the run loop ---------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        stop_after_records: int | None = None,
+        progress: Callable[[Watermark], None] | None = None,
+    ) -> StreamResult:
+        """Stream the dataset to completion (or resume a killed run).
+
+        With ``resume=True`` and an existing checkpoint at
+        ``config.checkpoint_path``, the run restores shard state, the
+        fault filter's per-link loss processes, and the source offset,
+        then continues -- converging to the same final report as an
+        uninterrupted run.  ``stop_after_records`` aborts the run
+        after roughly that many records *without* a final checkpoint
+        (simulating a kill for the recovery tests).  *progress* is
+        called with each emitted watermark.
+
+        On ``KeyboardInterrupt`` (the CLI maps SIGTERM onto it) the
+        engine drains, writes a checkpoint when a path is configured,
+        and re-raises -- the graceful half of kill/resume.
+        """
+        config = self.config
+        dataset = self.dataset
+        end = self._effective_end()
+        identity = self._identity()
+        ckpt_path = (
+            Path(config.checkpoint_path) if config.checkpoint_path else None
+        )
+
+        def fresh_table() -> PassiveServiceTable:
+            return PassiveServiceTable(
+                is_campus=dataset.is_campus,
+                tcp_ports=dataset.tcp_ports,
+                udp_ports=dataset.udp_ports,
+            )
+
+        states = [ShardState(index, fresh_table()) for index in range(config.shards)]
+        faults = (
+            self.plan.capture_filter(dataset.duration)
+            if self.plan is not None
+            else None
+        )
+        active = ActiveTimeline(dataset.scan_reports, dataset.udp_report)
+        marks = (
+            emit_schedule(end, config.emit_every)
+            if config.emit_every
+            else [end]
+        )
+
+        records_read = 0
+        records_delivered = 0
+        now = 0.0
+        emitted_index = 0
+        watermarks: list[Watermark] = []
+        checkpoints_written = 0
+        resumed = False
+
+        if resume:
+            if ckpt_path is None:
+                raise ValueError("resume requires config.checkpoint_path")
+            if ckpt_path.exists():
+                payload = load_checkpoint(ckpt_path, identity)
+                records_read = int(payload["records_read"])
+                records_delivered = int(payload["records_delivered"])
+                now = float(payload["now"])
+                emitted_index = int(payload["emitted_index"])
+                watermarks = list(payload["watermarks"])
+                for state, saved in zip(states, payload["shards"]):
+                    state.restore_state(saved)
+                if faults is not None and payload.get("faults") is not None:
+                    faults.restore_state(payload["faults"])
+                resumed = True
+
+        next_checkpoint = None
+        if config.checkpoint_every is not None and ckpt_path is not None:
+            next_checkpoint = config.checkpoint_every
+            while next_checkpoint <= now:
+                next_checkpoint += config.checkpoint_every
+
+        read_at_start = records_read
+        delivered_at_start = records_delivered
+        loss_at_start = faults.stats.dropped_loss if faults is not None else 0
+        outage_at_start = faults.stats.dropped_outage if faults is not None else 0
+        reg = _telemetry_registry()
+        tap = None
+        if reg.enabled:
+            from repro.telemetry.tap import ReplayTap
+
+            tap = ReplayTap()
+        is_campus = dataset.is_campus
+        shards = config.shards
+
+        def snapshot_progress() -> dict:
+            return {
+                "records_read": records_read,
+                "records_delivered": records_delivered,
+                "now": now,
+                "emitted_index": emitted_index,
+                "watermarks": list(watermarks),
+            }
+
+        ingestor = StreamIngestor(states, max_queue_chunks=config.max_queue_chunks)
+        interrupted = False
+        wall_start = perf_counter()
+        try:
+            for batch in self._source_batches(records_read, end):
+                records_read += len(batch)
+                if faults is not None:
+                    batch = faults.filter_batch(batch)
+                records_delivered += len(batch)
+                if batch:
+                    last_time = batch[-1].time
+                    if last_time > now:
+                        now = last_time
+                    if tap is not None:
+                        tap.observe_batch(batch)
+                    ingestor.dispatch(split_batch(batch, is_campus, shards))
+                while emitted_index < len(marks) and now >= marks[emitted_index]:
+                    ingestor.drain()
+                    mark = marks[emitted_index]
+                    watermark = self._watermark(
+                        mark, records_delivered, states, active
+                    )
+                    watermarks.append(watermark)
+                    emitted_index += 1
+                    if reg.enabled:
+                        reg.counter(
+                            "repro_stream_watermarks_total",
+                            "Watermarks emitted by stream runs.",
+                        ).inc()
+                        reg.histogram(
+                            "repro_stream_watermark_lag_seconds",
+                            "Stream-time lag between a mark and its emission.",
+                        ).observe(max(0.0, now - mark))
+                    if progress is not None:
+                        progress(watermark)
+                if next_checkpoint is not None and now >= next_checkpoint:
+                    ingestor.drain()
+                    self._save_checkpoint(
+                        ckpt_path, identity, states, faults, snapshot_progress()
+                    )
+                    checkpoints_written += 1
+                    while next_checkpoint <= now:
+                        next_checkpoint += config.checkpoint_every
+                if (
+                    stop_after_records is not None
+                    and records_read >= stop_after_records
+                ):
+                    interrupted = True
+                    break
+        except KeyboardInterrupt:
+            ingestor.drain()
+            if ckpt_path is not None:
+                self._save_checkpoint(
+                    ckpt_path, identity, states, faults, snapshot_progress()
+                )
+            raise
+        finally:
+            ingestor.close()
+            if reg.enabled:
+                if tap is not None:
+                    tap.flush_into(reg)
+                ingestor.flush_telemetry(reg)
+                elapsed = perf_counter() - wall_start
+                reg.counter(
+                    "repro_stream_read_records_total",
+                    "Records pulled from the stream source this run.",
+                ).inc(records_read - read_at_start)
+                reg.counter(
+                    "repro_stream_records_total",
+                    "Records delivered to the shards this run (post-faults).",
+                ).inc(records_delivered - delivered_at_start)
+                reg.counter(
+                    "repro_stream_seconds_total",
+                    "Wall time spent inside stream run loops.",
+                ).inc(elapsed)
+                if faults is not None:
+                    drops = faults.stats
+                    reg.counter(
+                        "repro_passive_dropped_total",
+                        "Records the monitors failed to capture, by cause.",
+                        cause="loss",
+                    ).inc(drops.dropped_loss - loss_at_start)
+                    reg.counter(
+                        "repro_passive_dropped_total",
+                        "Records the monitors failed to capture, by cause.",
+                        cause="outage",
+                    ).inc(drops.dropped_outage - outage_at_start)
+                if elapsed > 0:
+                    reg.gauge(
+                        "repro_stream_records_per_sec",
+                        "Source throughput of the most recent stream run.",
+                    ).set((records_read - read_at_start) / elapsed)
+
+        if interrupted:
+            return StreamResult(
+                finished=False,
+                records_read=records_read,
+                records_delivered=records_delivered,
+                checkpoints_written=checkpoints_written,
+                resumed=resumed,
+                watermarks=watermarks,
+            )
+
+        while emitted_index < len(marks):
+            # Marks at or past the last record's timestamp (always at
+            # least the final one) are emitted once the source drains.
+            watermark = self._watermark(
+                marks[emitted_index], records_delivered, states, active
+            )
+            watermarks.append(watermark)
+            emitted_index += 1
+            if reg.enabled:
+                reg.counter(
+                    "repro_stream_watermarks_total",
+                    "Watermarks emitted by stream runs.",
+                ).inc()
+            if progress is not None:
+                progress(watermark)
+
+        merged = merge_shards(states, fresh_table())
+        active_addresses = {
+            address for address, _ in union_open_endpoints(dataset.scan_reports)
+        }
+        if dataset.udp_report is not None:
+            active_addresses |= {
+                address for address, _ in dataset.udp_report.open_endpoints()
+            }
+        summary = summarize_overlap(merged.server_addresses(), active_addresses)
+        report = survey_table(
+            config.dataset, config.scale, config.seed,
+            records_delivered, len(dataset.scan_reports), summary,
+        ).render()
+        if ckpt_path is not None and ckpt_path.exists():
+            # Clean finish: a stale checkpoint must not hijack the next run.
+            ckpt_path.unlink()
+        return StreamResult(
+            finished=True,
+            records_read=records_read,
+            records_delivered=records_delivered,
+            checkpoints_written=checkpoints_written,
+            resumed=resumed,
+            watermarks=watermarks,
+            summary=summary,
+            report=report,
+            table=merged,
+            last_seen=merged_last_seen(states),
+        )
+
+
+def batch_survey_report(config: StreamConfig, dataset=None) -> str:
+    """The batch path's report for *config* -- the equivalence oracle.
+
+    Builds the dataset, replays it through one monolithic passive table
+    (with the same fault plan a stream run would apply), and renders
+    through the shared :func:`repro.core.report.survey_table`.  Tests
+    assert ``StreamEngine(config).run().report == batch_survey_report(config)``
+    byte for byte, at any shard count.
+    """
+    plan = config.faults
+    if plan is not None and getattr(plan, "is_null", False):
+        plan = None
+    if dataset is None:
+        from repro.datasets import build_dataset
+
+        dataset = build_dataset(
+            config.dataset, seed=config.seed, scale=config.scale, faults=plan
+        )
+    table = PassiveServiceTable(
+        is_campus=dataset.is_campus,
+        tcp_ports=dataset.tcp_ports,
+        udp_ports=dataset.udp_ports,
+    )
+    faults = plan.capture_filter(dataset.duration) if plan is not None else None
+    records = dataset.replay(table, faults=faults)
+    active_addresses = {
+        address for address, _ in union_open_endpoints(dataset.scan_reports)
+    }
+    if dataset.udp_report is not None:
+        active_addresses |= {
+            address for address, _ in dataset.udp_report.open_endpoints()
+        }
+    summary = summarize_overlap(table.server_addresses(), active_addresses)
+    return survey_table(
+        config.dataset, config.scale, config.seed,
+        records, len(dataset.scan_reports), summary,
+    ).render()

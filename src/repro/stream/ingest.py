@@ -1,0 +1,176 @@
+"""The stream ingestor: bounded fan-out of record batches to shards.
+
+:class:`StreamIngestor` owns one worker thread and one bounded queue
+per shard.  The driving thread routes each decoded batch
+(:func:`repro.stream.shard.split_batch`) and enqueues the per-shard
+sub-batches; workers fold them into their :class:`ShardState` in
+arrival order.
+
+Memory stays flat regardless of trace length because nothing in the
+pipeline buffers unboundedly: the source yields fixed-size batches, the
+queues hold at most ``max_queue_chunks`` sub-batches each (an
+over-full queue *blocks the producer* -- backpressure, not growth), and
+shard state is keyed by endpoints, whose count is bounded by the
+population rather than the observation length.
+
+:meth:`StreamIngestor.drain` is the synchronisation barrier the engine
+uses before watermark emission and checkpoints: it returns only when
+every queued batch has been folded in, so a snapshot taken after a
+drain is a consistent prefix of the stream.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from time import perf_counter
+
+from repro.net.packet import PacketRecord
+from repro.stream.shard import ShardState
+
+#: Default bound on queued sub-batches per shard.  With the default
+#: 8192-record read batches this caps in-flight records at
+#: ``shards * 8 * 8192`` regardless of how long the stream runs.
+DEFAULT_MAX_QUEUE_CHUNKS = 8
+
+_STOP = object()
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the shard index and original error."""
+
+    def __init__(self, index: int, error: BaseException) -> None:
+        super().__init__(f"shard {index} worker failed: {error!r}")
+        self.index = index
+        self.error = error
+
+
+class StreamIngestor:
+    """Fan record batches out to per-shard workers with backpressure.
+
+    Parameters
+    ----------
+    states:
+        One :class:`ShardState` per shard; workers mutate them.
+    max_queue_chunks:
+        Bound on queued sub-batches per shard; a full queue blocks
+        :meth:`dispatch` until the worker catches up.
+    """
+
+    def __init__(
+        self,
+        states: list[ShardState],
+        max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS,
+    ) -> None:
+        if not states:
+            raise ValueError("at least one shard is required")
+        if max_queue_chunks < 1:
+            raise ValueError("max_queue_chunks must be >= 1")
+        self.states = states
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=max_queue_chunks) for _ in states
+        ]
+        self._errors: list[ShardWorkerError] = []
+        self._closed = False
+        # Observability accumulators (flushed once, at close).
+        self.max_queued_records = 0
+        self._queued_records = [0] * len(states)
+        self._queued_lock = threading.Lock()
+        self.shard_records = [0] * len(states)
+        self.shard_seconds = [0.0] * len(states)
+        self.batches_dispatched = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(index,),
+                name=f"repro-stream-shard-{index}",
+                daemon=True,
+            )
+            for index in range(len(states))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def shards(self) -> int:
+        return len(self.states)
+
+    def _worker(self, index: int) -> None:
+        state = self.states[index]
+        work = self._queues[index]
+        while True:
+            item = work.get()
+            if item is _STOP:
+                work.task_done()
+                return
+            started = perf_counter()
+            try:
+                state.observe_batch(item)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on drain
+                self._errors.append(ShardWorkerError(index, exc))
+                work.task_done()
+                return
+            self.shard_seconds[index] += perf_counter() - started
+            self.shard_records[index] += len(item)
+            with self._queued_lock:
+                self._queued_records[index] -= len(item)
+            work.task_done()
+
+    def _raise_pending(self) -> None:
+        if self._errors:
+            raise self._errors[0]
+
+    def dispatch(self, parts: list[list[PacketRecord]]) -> None:
+        """Enqueue one routed batch (blocks when a shard queue is full)."""
+        if self._closed:
+            raise RuntimeError("ingestor already closed")
+        self._raise_pending()
+        for index, part in enumerate(parts):
+            if not part:
+                continue
+            with self._queued_lock:
+                self._queued_records[index] += len(part)
+                in_flight = sum(self._queued_records)
+                if in_flight > self.max_queued_records:
+                    self.max_queued_records = in_flight
+            self._queues[index].put(part)
+        self.batches_dispatched += 1
+
+    def drain(self) -> None:
+        """Block until every enqueued batch has been folded into state."""
+        for work in self._queues:
+            work.join()
+        self._raise_pending()
+
+    def close(self) -> None:
+        """Drain, stop the workers, and join the threads (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for work in self._queues:
+            work.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._raise_pending()
+
+    def flush_telemetry(self, registry) -> None:
+        """Fold the ingestor's accumulated counters into *registry*."""
+        registry.gauge(
+            "repro_stream_queue_peak_records",
+            "Peak records in flight across all shard queues.",
+        ).set(self.max_queued_records)
+        registry.counter(
+            "repro_stream_batches_total",
+            "Routed batches dispatched to shard workers.",
+        ).inc(self.batches_dispatched)
+        for index in range(self.shards):
+            registry.counter(
+                "repro_stream_shard_records_total",
+                "Records folded into each shard's state.",
+                shard=str(index),
+            ).inc(self.shard_records[index])
+            registry.counter(
+                "repro_stream_shard_seconds_total",
+                "Wall time each shard worker spent folding records.",
+                shard=str(index),
+            ).inc(self.shard_seconds[index])

@@ -1,0 +1,177 @@
+"""Per-shard discovery state and the shard routing function.
+
+The streaming engine partitions the record stream by *campus server
+address*: every record is routed to the shard that owns whatever
+passive-table state the record could touch.  The passive rules
+(Section 3.2) key all evidence by the campus side of a conversation:
+
+* a TCP SYN-ACK is evidence about its **source** (the campus server
+  answering), and seeds handshake-confirmation state under the source;
+* a bare TCP ACK updates flow/client accounting (and completes a
+  pending handshake) for its **destination**;
+* a UDP datagram leaving campus is evidence about its **source**; an
+  inbound datagram feeds request tracking for its **destination**.
+
+Because the owning address is a pure function of the record, shard
+states are disjoint and merging them is a dict union -- results are
+identical at any shard count, which the equivalence tests assert at
+1, 2, and 8 shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP, PacketRecord
+from repro.passive.monitor import Endpoint, PassiveServiceTable
+
+#: Fibonacci-style multiplier spreading contiguous campus addresses
+#: across shards (addresses within one /24 would otherwise all land on
+#: the same few shards under plain modulo).
+_HASH_MULTIPLIER = 0x9E3779B1
+
+
+def owning_address(record: PacketRecord, is_campus: Callable[[int], bool]) -> int:
+    """The address whose shard owns any state this record can touch."""
+    proto = record.proto
+    if proto == PROTO_TCP:
+        flags = record.flags._value_
+        if flags & 0x02 and flags & 0x10:  # SYN-ACK: about the sender
+            return record.src
+        return record.dst
+    if proto == PROTO_UDP:
+        return record.src if is_campus(record.src) else record.dst
+    return record.dst
+
+
+def shard_of(address: int, shards: int) -> int:
+    """Deterministic shard index for an owning address."""
+    if shards <= 1:
+        return 0
+    return ((address * _HASH_MULTIPLIER) & 0xFFFFFFFF) % shards
+
+
+def split_batch(
+    records: list[PacketRecord],
+    is_campus: Callable[[int], bool],
+    shards: int,
+) -> list[list[PacketRecord]]:
+    """Partition one record batch into per-shard sub-batches (in order)."""
+    if shards <= 1:
+        return [records]
+    parts: list[list[PacketRecord]] = [[] for _ in range(shards)]
+    appends = [part.append for part in parts]
+    for record in records:
+        appends[shard_of(owning_address(record, is_campus), shards)](record)
+    return parts
+
+
+@dataclass
+class ShardState:
+    """One shard's long-lived discovery state.
+
+    Wraps a real :class:`PassiveServiceTable` (so folding a record is
+    exactly the batch-replay code path) plus the streaming extras: a
+    per-endpoint *last-seen* timeline and a processed-record counter.
+    Both update in O(1) per record.
+    """
+
+    index: int
+    table: PassiveServiceTable
+    #: endpoint -> latest evidence time (first_seen lives in the table).
+    last_seen: dict[Endpoint, float] = field(default_factory=dict)
+    records: int = 0
+
+    def observe_batch(self, records: list[PacketRecord]) -> None:
+        """Fold one routed sub-batch into the shard state."""
+        table = self.table
+        table.observe_batch(records)
+        self.records += len(records)
+        # Last-seen maintenance mirrors the table's evidence filter for
+        # the two signals that stamp first_seen on the default rules
+        # (SYN-ACK, UDP source port); it is supplementary state and
+        # never feeds the completeness report.
+        is_campus = table.is_campus
+        tcp_ports = table.tcp_ports
+        udp_ports = table.udp_ports
+        exclude = table.exclude_sources
+        last_seen = self.last_seen
+        for record in records:
+            proto = record.proto
+            if proto == PROTO_TCP:
+                flags = record.flags._value_
+                if not (flags & 0x02 and flags & 0x10):
+                    continue
+                port = record.sport
+                if tcp_ports is not None and port not in tcp_ports:
+                    continue
+            elif proto == PROTO_UDP:
+                port = record.sport
+                if port not in udp_ports:
+                    continue
+            else:
+                continue
+            if not is_campus(record.src) or is_campus(record.dst):
+                continue
+            if record.dst in exclude:
+                continue
+            endpoint = (record.src, port, proto)
+            previous = last_seen.get(endpoint)
+            if previous is None or record.time > previous:
+                last_seen[endpoint] = record.time
+
+    # ---- checkpointing ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of every mutable field (picklable)."""
+        table = self.table
+        return {
+            "index": self.index,
+            "records": self.records,
+            "first_seen": dict(table.first_seen),
+            "flow_counts": dict(table.flow_counts),
+            "clients": {k: set(v) for k, v in table.clients.items()},
+            "pending_handshake": dict(table._pending_handshake),
+            "udp_requests": set(table._udp_requests),
+            "last_seen": dict(self.last_seen),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Load a :meth:`state_dict` snapshot (table config unchanged)."""
+        table = self.table
+        table.first_seen = dict(payload["first_seen"])
+        table.flow_counts = dict(payload["flow_counts"])
+        table.clients = {k: set(v) for k, v in payload["clients"].items()}
+        table._pending_handshake = dict(payload["pending_handshake"])
+        table._udp_requests = set(payload["udp_requests"])
+        self.last_seen = dict(payload["last_seen"])
+        self.records = int(payload["records"])
+
+
+def merge_shards(
+    states: list[ShardState], merged: PassiveServiceTable
+) -> PassiveServiceTable:
+    """Union every shard's table state into *merged* (a fresh table).
+
+    Shard key spaces are disjoint by construction, so the union is a
+    plain dict update per field -- the merged table is indistinguishable
+    from one that observed the whole stream itself, which is what makes
+    streamed reports byte-identical to batch reports.
+    """
+    for state in states:
+        table = state.table
+        merged.first_seen.update(table.first_seen)
+        merged.flow_counts.update(table.flow_counts)
+        merged.clients.update(table.clients)
+        merged._pending_handshake.update(table._pending_handshake)
+        merged._udp_requests.update(table._udp_requests)
+    return merged
+
+
+def merged_last_seen(states: list[ShardState]) -> dict[Endpoint, float]:
+    """Union of every shard's last-seen timeline (disjoint keys)."""
+    out: dict[Endpoint, float] = {}
+    for state in states:
+        out.update(state.last_seen)
+    return out

@@ -232,17 +232,28 @@ def _iter_batches(
 
 
 def read_records_chunked(
-    path: str | Path, batch_size: int = DEFAULT_BATCH_RECORDS
+    path: str | Path,
+    batch_size: int = DEFAULT_BATCH_RECORDS,
+    skip_records: int = 0,
 ) -> Iterator[list[PacketRecord]]:
     """Read a trace file as record batches (the replay-engine fast path).
 
     Equivalent to ``TraceReader`` record-for-record, but yields lists of
     *batch_size* records decoded in bulk.  The file is closed when the
     generator is exhausted or discarded.
+
+    *skip_records* positions the reader past the first N records with a
+    single seek (records are fixed width), which is how a resumed
+    stream run (:mod:`repro.stream`) re-enters a cached trace at its
+    checkpoint offset without decoding the prefix.
     """
+    if skip_records < 0:
+        raise ValueError("skip_records must be >= 0")
     fileobj = open(path, "rb")
     try:
         _read_header(fileobj)
+        if skip_records:
+            fileobj.seek(skip_records * _RECORD.size, io.SEEK_CUR)
         yield from _iter_batches(fileobj, batch_size)
     finally:
         fileobj.close()

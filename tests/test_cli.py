@@ -90,6 +90,112 @@ class TestCacheCommand:
         assert "disabled" in capsys.readouterr().out
 
 
+class TestStreamCommand:
+    ARGS = ["DTCP1-18d", "--scale", "0.03", "--seed", "4"]
+
+    def test_stream_report_matches_survey(self, capsys):
+        assert main(["survey", *self.ARGS]) == 0
+        survey_out = capsys.readouterr().out
+        assert main(["stream", *self.ARGS, "--shards", "2"]) == 0
+        stream_out = capsys.readouterr().out
+        assert stream_out == survey_out
+
+    def test_stream_emits_watermarks_and_writes_out(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main([
+            "stream", *self.ARGS, "--shards", "2",
+            "--emit-every", "96", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert printed.count("watermark t=") >= 2
+        assert "Passive AND Active" in printed
+        report = out.read_text(encoding="utf-8")
+        assert report.rstrip("\n") in printed
+
+    def test_stream_telemetry_export(self, tmp_path, capsys):
+        from repro.telemetry import NullRegistry, set_registry
+
+        tel = tmp_path / "tel"
+        try:
+            assert main([
+                "stream", *self.ARGS, "--shards", "2",
+                "--outage-fraction", "0.02", "--fault-seed", "5",
+                "--telemetry", str(tel),
+            ]) == 0
+        finally:
+            set_registry(NullRegistry())  # --telemetry enables globally
+        capsys.readouterr()
+        assert (tel / "manifest.json").exists()
+        assert main([
+            "stats", str(tel),
+            "--require", "repro_stream_records_total",
+            "repro_stream_watermarks_total",
+        ]) == 0
+        stats_out = capsys.readouterr().out
+        assert "repro_stream_records_total" in stats_out
+
+
+class TestStatsLinks:
+    @staticmethod
+    def fake_export(directory, link_counts, drop_counts=None):
+        from repro.telemetry import MetricRegistry, write_exports
+
+        reg = MetricRegistry()
+        for link, count in link_counts.items():
+            reg.counter(
+                "repro_passive_link_records_total",
+                "Records by monitored link.", link=link,
+            ).inc(count)
+        reg.counter(
+            "repro_passive_protocol_records_total",
+            "Records by protocol.", proto="tcp",
+        ).inc(sum(link_counts.values()))
+        for cause, count in (drop_counts or {}).items():
+            reg.counter(
+                "repro_passive_dropped_total",
+                "Records dropped by the capture fault filter.", cause=cause,
+            ).inc(count)
+        write_exports(directory, reg)
+
+    def test_aggregates_across_runs(self, tmp_path, capsys):
+        self.fake_export(tmp_path / "run1", {"commercial1": 600, "internet2": 100})
+        self.fake_export(tmp_path / "run2", {"commercial1": 200, "commercial2": 100},
+                         drop_counts={"loss": 50})
+        assert main(["stats", str(tmp_path), "--links"]) == 0
+        out = capsys.readouterr().out
+        assert "Link mix: 2 run(s), 1,000 records" in out
+        assert "commercial1" in out and "(80%)" in out
+        assert "Protocol mix" in out
+        assert "Capture drops" in out and "loss" in out
+
+    def test_single_export_directory(self, tmp_path, capsys):
+        self.fake_export(tmp_path, {"commercial1": 10})
+        assert main(["stats", str(tmp_path), "--links"]) == 0
+        assert "Link mix: 1 run(s)" in capsys.readouterr().out
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope"), "--links"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_no_link_metrics_fails(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main(["stats", str(tmp_path), "--links"]) == 1
+        assert "no per-link telemetry" in capsys.readouterr().err
+
+
+class TestStatsRequire:
+    def test_empty_directory_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "tel"
+        empty.mkdir()
+        assert main(["stats", str(empty), "--require"]) == 1
+        err = capsys.readouterr().err
+        assert "exists but contains no exports" in err
+
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope"), "--require"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,118 @@
+"""Crash-recovery tests for the streaming engine (real subprocesses).
+
+The in-process resume tests in ``test_stream.py`` interrupt the engine
+cooperatively; this module does it the unfriendly way -- SIGKILL while
+the stream is mid-run -- and asserts the resumed run still lands on a
+report byte-identical to an uninterrupted one.  That exercises the
+atomic-checkpoint guarantee (a torn write must never be loadable) and
+the CLI's ``--resume`` plumbing end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+STREAM_ARGS = [
+    "stream", "DTCP1-18d",
+    "--scale", "0.03",
+    "--seed", "11",
+    "--shards", "2",
+    "--emit-every", "96",
+    "--outage-fraction", "0.02",
+    "--fault-seed", "5",
+]
+
+
+def run_cli(args, tmp_path, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env.setdefault("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=tmp_path, env=env, capture_output=True, text=True,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"repro {' '.join(args)} failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+@pytest.mark.slow
+def test_sigkill_then_resume_is_byte_identical(tmp_path):
+    reference = tmp_path / "reference.txt"
+    resumed = tmp_path / "resumed.txt"
+    checkpoint = tmp_path / "stream.ckpt"
+
+    run_cli(
+        STREAM_ARGS + ["--out", str(reference)], tmp_path
+    )
+    assert reference.exists()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env.setdefault("REPRO_TRACE_CACHE", str(tmp_path / "trace-cache"))
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro", *STREAM_ARGS,
+         "--checkpoint-every", "12",
+         "--checkpoint", str(checkpoint),
+         "--out", str(resumed)],
+        cwd=tmp_path, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Wait for the first periodic checkpoint, then kill without
+        # warning -- no SIGTERM handler, no atexit, nothing graceful.
+        deadline = time.monotonic() + 120.0
+        while not checkpoint.exists():
+            if victim.poll() is not None:
+                pytest.fail("stream run exited before first checkpoint")
+            if time.monotonic() > deadline:
+                pytest.fail("no checkpoint appeared within deadline")
+            time.sleep(0.01)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30)
+    assert victim.returncode == -signal.SIGKILL
+    assert checkpoint.exists()
+    assert not resumed.exists()  # killed before the report was written
+
+    proc = run_cli(
+        STREAM_ARGS + ["--checkpoint-every", "12",
+                       "--checkpoint", str(checkpoint),
+                       "--resume",
+                       "--out", str(resumed)],
+        tmp_path,
+    )
+    assert f"resuming: {checkpoint}" in proc.stderr
+    assert resumed.read_bytes() == reference.read_bytes()
+    assert not checkpoint.exists()  # removed after the clean finish
+
+
+@pytest.mark.slow
+def test_resume_on_fresh_state_just_runs(tmp_path):
+    """``--resume`` with no checkpoint on disk is a cold start, not an error."""
+    out = tmp_path / "report.txt"
+    checkpoint = tmp_path / "never-written.ckpt"
+    proc = run_cli(
+        STREAM_ARGS + ["--checkpoint-every", "120",
+                       "--checkpoint", str(checkpoint),
+                       "--resume", "--out", str(out)],
+        tmp_path,
+    )
+    assert "resuming:" not in proc.stderr
+    assert out.exists()
