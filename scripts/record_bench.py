@@ -16,6 +16,15 @@ row (the sharded pipeline of :mod:`repro.stream` over the same cached
 trace), so stream-engine regressions gate the same way replay
 regressions do (``scripts/check_bench.py``).
 
+Four throughput rows are recorded.  ``replay`` is the *scalar v1
+path*: the cached (v2) trace is converted to a temporary v1 file and
+replayed through the per-record decoder, so the row keeps measuring
+what it always measured; ``stream`` runs the engine with its columnar
+source disabled (per-record decode and routing).  ``replay_columnar``
+and ``stream_columnar`` run the same observers over the columnar
+zero-copy path; ``check_bench.py`` ratchets the columnar rows to stay
+at least 5x their scalar counterparts.
+
 Usage::
 
     PYTHONPATH=src python scripts/record_bench.py [--dataset DTCPall]
@@ -27,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -58,14 +68,28 @@ def timed_pass(trace_path, dataset) -> tuple[int, float]:
     return count, time.perf_counter() - started
 
 
-def timed_stream_pass(args, dataset, shards: int) -> tuple[int, float]:
+def timed_columnar_pass(trace_path, dataset) -> tuple[int, float]:
+    """One zero-copy columnar replay over the cached v2 trace."""
+    from repro.passive.monitor import replay_columnar
+    from repro.trace.columnar import read_trace_columns
+
+    started = time.perf_counter()
+    count = replay_columnar(
+        read_trace_columns(trace_path), *fresh_observers(dataset)
+    )
+    return count, time.perf_counter() - started
+
+
+def timed_stream_pass(
+    args, dataset, shards: int, columnar: bool
+) -> tuple[int, float]:
     """One full streaming-ingest run (sharded pipeline, cached trace)."""
     from repro.stream import StreamConfig, StreamEngine
 
     engine = StreamEngine(
         StreamConfig(
             dataset=args.dataset, seed=args.seed, scale=args.scale,
-            shards=shards,
+            shards=shards, columnar=columnar,
         ),
         dataset=dataset,
     )
@@ -101,33 +125,56 @@ def main(argv: list[str] | None = None) -> int:
         print("record_bench needs the trace cache enabled "
               "(set REPRO_TRACE_CACHE)", file=sys.stderr)
         return 1
+    from repro.trace.columnar import convert_trace
+
     dataset = build_dataset(args.dataset, seed=args.seed, scale=args.scale)
-    # Warm pass records the trace on first use; discard its timing.
+    # Warm pass records the (columnar v2) trace on first use; discard
+    # its timing.
     dataset.replay(*fresh_observers(dataset))
     trace_path = cache.lookup(dataset.trace_cache_key)
     assert trace_path is not None, "warm pass should have recorded the trace"
+    # The scalar replay rows run over a v1 conversion of the trace so
+    # they keep measuring the per-record decode path.
+    with tempfile.TemporaryDirectory() as tmp:
+        v1_path = Path(tmp) / "bench-v1.rprt"
+        convert_trace(trace_path, v1_path, to_version=1)
 
-    set_registry(NullRegistry())
-    disabled = [timed_pass(trace_path, dataset) for _ in range(args.repeats)]
-    set_registry(MetricRegistry())
-    enabled = [timed_pass(trace_path, dataset) for _ in range(args.repeats)]
-    set_registry(NullRegistry())
-    streamed = [
-        timed_stream_pass(args, dataset, args.stream_shards)
-        for _ in range(args.repeats)
-    ]
+        set_registry(NullRegistry())
+        disabled = [timed_pass(v1_path, dataset) for _ in range(args.repeats)]
+        set_registry(MetricRegistry())
+        enabled = [timed_pass(v1_path, dataset) for _ in range(args.repeats)]
+        set_registry(NullRegistry())
+        columnar = [
+            timed_columnar_pass(trace_path, dataset)
+            for _ in range(args.repeats)
+        ]
+        streamed = [
+            timed_stream_pass(args, dataset, args.stream_shards, False)
+            for _ in range(args.repeats)
+        ]
+        stream_columnar = [
+            timed_stream_pass(args, dataset, args.stream_shards, True)
+            for _ in range(args.repeats)
+        ]
+        v1_bytes = v1_path.stat().st_size
 
     records = disabled[0][0]
-    assert all(count == records for count, _ in disabled + enabled)
+    assert all(
+        count == records for count, _ in disabled + enabled + columnar
+    )
     stream_records = streamed[0][0]
-    assert all(count == stream_records for count, _ in streamed)
+    assert all(
+        count == stream_records for count, _ in streamed + stream_columnar
+    )
     best_stream = min(seconds for _, seconds in streamed)
+    best_stream_columnar = min(seconds for _, seconds in stream_columnar)
     best_disabled = min(seconds for _, seconds in disabled)
     best_enabled = min(seconds for _, seconds in enabled)
+    best_columnar = min(seconds for _, seconds in columnar)
     overhead_pct = 100.0 * (best_enabled - best_disabled) / best_disabled
 
     baseline = {
-        "version": 1,
+        "version": 2,
         "recorded_unix": int(time.time()),
         "dataset": args.dataset,
         "scale": args.scale,
@@ -137,12 +184,19 @@ def main(argv: list[str] | None = None) -> int:
         "python_version": sys.version.split()[0],
         "replay": {
             "records": records,
-            "trace_bytes": trace_path.stat().st_size,
+            "trace_bytes": v1_bytes,
             "best_seconds": round(best_disabled, 4),
             "records_per_sec": round(records / best_disabled, 1),
             "telemetry_best_seconds": round(best_enabled, 4),
             "telemetry_records_per_sec": round(records / best_enabled, 1),
             "telemetry_overhead_pct": round(overhead_pct, 2),
+        },
+        "replay_columnar": {
+            "records": records,
+            "trace_bytes": trace_path.stat().st_size,
+            "best_seconds": round(best_columnar, 4),
+            "records_per_sec": round(records / best_columnar, 1),
+            "speedup_vs_scalar": round(best_disabled / best_columnar, 2),
         },
         "stream": {
             "records": stream_records,
@@ -150,15 +204,31 @@ def main(argv: list[str] | None = None) -> int:
             "best_seconds": round(best_stream, 4),
             "records_per_sec": round(stream_records / best_stream, 1),
         },
+        "stream_columnar": {
+            "records": stream_records,
+            "shards": args.stream_shards,
+            "best_seconds": round(best_stream_columnar, 4),
+            "records_per_sec": round(
+                stream_records / best_stream_columnar, 1
+            ),
+            "speedup_vs_scalar": round(
+                best_stream / best_stream_columnar, 2
+            ),
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
     print(f"wrote {out}: {records:,} records, "
-          f"{baseline['replay']['records_per_sec']:,.0f} rec/s "
-          f"(telemetry overhead {overhead_pct:+.2f}%), "
-          f"stream {baseline['stream']['records_per_sec']:,.0f} rec/s "
-          f"({args.stream_shards} shards)")
+          f"{baseline['replay']['records_per_sec']:,.0f} rec/s scalar / "
+          f"{baseline['replay_columnar']['records_per_sec']:,.0f} rec/s "
+          f"columnar "
+          f"({baseline['replay_columnar']['speedup_vs_scalar']:.1f}x, "
+          f"telemetry overhead {overhead_pct:+.2f}%), "
+          f"stream {baseline['stream']['records_per_sec']:,.0f} / "
+          f"{baseline['stream_columnar']['records_per_sec']:,.0f} rec/s "
+          f"({args.stream_shards} shards, "
+          f"{baseline['stream_columnar']['speedup_vs_scalar']:.1f}x)")
     return 0
 
 

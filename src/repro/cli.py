@@ -12,11 +12,15 @@ Operational entry points over the library:
     periodic completeness watermarks, checkpoint/resume, and a final
     report byte-identical to ``survey`` on the same configuration.
 ``record DATASET OUT``
-    Record a dataset's border traffic to a binary trace file,
+    Record a dataset's border traffic to a binary trace file
+    (columnar v2 by default; ``--format 1`` for the row format),
     optionally anonymised.
 ``trace-stats FILE``
     Summarise a recorded trace (record counts, protocol mix, top
     campus responders).
+``trace convert SRC DST``
+    Convert a trace between the v1 row format and the v2 columnar
+    format (``--to {1,2}``); the record sequence is preserved exactly.
 ``cache``
     Show the record-once trace cache (location, entries, sizes, and the
     persistent hit/miss counters); ``--clear`` empties it.
@@ -236,6 +240,7 @@ def cmd_record(args: argparse.Namespace) -> int:
     from repro.datasets import build_dataset
     from repro.simkernel.clock import days
     from repro.trace.anonymize import Anonymizer
+    from repro.trace.columnar import ColumnarTraceWriter
     from repro.trace.format import TraceWriter
 
     dataset = build_dataset(args.dataset, seed=args.seed, scale=args.scale)
@@ -245,7 +250,8 @@ def cmd_record(args: argparse.Namespace) -> int:
         if args.anonymize_key is not None
         else None
     )
-    with TraceWriter.open(args.out) as writer:
+    writer_cls = TraceWriter if args.format_version == 1 else ColumnarTraceWriter
+    with writer_cls.open(args.out) as writer:
         for record in dataset.packet_stream(end=end):
             if anonymizer is not None:
                 record = anonymizer.anonymize(record)
@@ -253,6 +259,29 @@ def cmd_record(args: argparse.Namespace) -> int:
         count = writer.records_written
     suffix = " (anonymised)" if anonymizer else ""
     print(f"wrote {count:,} records to {args.out}{suffix}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import DEFAULT_CHUNK_RECORDS, convert_trace
+    from repro.trace.format import trace_version
+
+    if args.trace_command != "convert":  # pragma: no cover - argparse gates
+        raise SystemExit(f"unknown trace command {args.trace_command!r}")
+    source_version = trace_version(args.source)
+    chunk_records = (
+        args.chunk_records
+        if args.chunk_records is not None
+        else DEFAULT_CHUNK_RECORDS
+    )
+    count = convert_trace(
+        args.source, args.destination,
+        to_version=args.to_version, chunk_records=chunk_records,
+    )
+    print(
+        f"converted {count:,} records: {args.source} (v{source_version}) "
+        f"-> {args.destination} (v{args.to_version})"
+    )
     return 0
 
 
@@ -629,11 +658,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record only the first N days")
     record.add_argument("--anonymize-key", type=int, default=None,
                         help="anonymise addresses with this key")
+    record.add_argument(
+        "--format", type=int, choices=(1, 2), default=2, dest="format_version",
+        help="trace format version to write (2 = columnar, the default)",
+    )
 
     stats = commands.add_parser("trace-stats", help="summarise a trace file")
     stats.add_argument("file")
     stats.add_argument("--campus", default="128.125.0.0/16")
     stats.add_argument("--top", type=int, default=10)
+
+    trace = commands.add_parser(
+        "trace", help="trace-file utilities (convert between formats)"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    convert = trace_commands.add_parser(
+        "convert",
+        help="convert a trace between v1 (row) and v2 (columnar) formats",
+    )
+    convert.add_argument("source")
+    convert.add_argument("destination")
+    convert.add_argument(
+        "--to", type=int, choices=(1, 2), default=2, dest="to_version",
+        help="target format version (default: 2, the columnar format)",
+    )
+    convert.add_argument(
+        "--chunk-records", type=int, default=None,
+        help="records per v2 chunk (default %d)" % 65536,
+    )
 
     cache = commands.add_parser("cache", help="show the record-once trace cache")
     cache.add_argument("--clear", action="store_true",
@@ -673,6 +725,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream": cmd_stream,
         "record": cmd_record,
         "trace-stats": cmd_trace_stats,
+        "trace": cmd_trace,
         "cache": cmd_cache,
         "stats": cmd_stats,
         "degradation": cmd_degradation,

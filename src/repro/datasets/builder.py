@@ -40,7 +40,8 @@ from repro.simkernel.clock import Calendar, hours
 from repro.simkernel.rng import RngStreams, derive_seed
 from repro.telemetry.metrics import registry as _telemetry_registry
 from repro.trace.cache import default_trace_cache
-from repro.trace.format import TraceWriter, read_records_chunked
+from repro.trace.columnar import ColumnarTraceWriter, read_trace_columns
+from repro.trace.format import read_records_chunked
 from repro.traffic.generator import (
     GENERATOR_VERSION,
     TrafficMix,
@@ -183,8 +184,14 @@ class BuiltDataset:
         -- lossy capture over ground-truth traffic.  The cache always
         records the unfaulted stream, so one recording serves every
         loss rate, and the returned count is what the observers saw.
+
+        Cached passes are served as zero-copy column batches
+        (:func:`repro.passive.monitor.replay_columnar`): observers with
+        an ``observe_columns`` fast path consume the arrays directly;
+        the rest receive the identical ``PacketRecord`` batches via
+        the scalar fallback.
         """
-        from repro.passive.monitor import replay as _replay, replay_batched
+        from repro.passive.monitor import replay as _replay, replay_columnar
         from time import perf_counter
 
         cache = default_trace_cache()
@@ -203,8 +210,8 @@ class BuiltDataset:
             cached = cache.lookup(self.trace_cache_key)
             if cached is not None:
                 source = "cached"
-                count = replay_batched(
-                    read_records_chunked(cached), *observers, faults=faults
+                count = replay_columnar(
+                    read_trace_columns(cached), *observers, faults=faults
                 )
             else:
                 source = "recorded"
@@ -261,6 +268,10 @@ class BuiltDataset:
         committed entry may be truncated in place -- the next lookup
         then detects the damage, evicts, and regenerates, exercising
         the recovery path end to end.
+
+        Recordings are written in the columnar v2 format; the cache
+        key embeds the format version, so older v1 entries are simply
+        never looked up again rather than misread.
         """
         from repro.passive.monitor import replay as _replay
 
@@ -270,7 +281,7 @@ class BuiltDataset:
             # Unwritable cache directory: serve the pass without recording.
             return _replay(self._generate_stream(), *observers, faults=faults)
         try:
-            with TraceWriter.open(pending.tmp_path) as writer:
+            with ColumnarTraceWriter.open(pending.tmp_path) as writer:
                 write = writer.write
 
                 def tee() -> Iterator[PacketRecord]:

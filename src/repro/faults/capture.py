@@ -116,8 +116,12 @@ class CaptureFilter:
 
     def keep(self, record: PacketRecord) -> bool:
         """Whether the monitors see *record*; advances the loss state."""
-        state = self._state(record.link)
-        if self._has_outages and state.in_outage(record.time):
+        return self._keep(record.link, record.time)
+
+    def _keep(self, link: str, time: float) -> bool:
+        """The decision core: pure function of the (link, time) stream."""
+        state = self._state(link)
+        if self._has_outages and state.in_outage(time):
             # The monitor is off: the record never reaches the capture
             # stack, so it does not advance the loss process either.
             self.stats.dropped_outage += 1
@@ -146,6 +150,28 @@ class CaptureFilter:
         """Batch counterpart of :meth:`keep` (same decisions, in order)."""
         keep = self.keep
         return [record for record in records if keep(record)]
+
+    def keep_mask(self, times: list[float], link_indices: list[int],
+                  link_names: tuple[str, ...]):
+        """Columnar counterpart of :meth:`keep`: a boolean keep mask.
+
+        *times* and *link_indices* are parallel per-record sequences
+        (a :class:`repro.trace.columnar.RecordColumns` batch's ``time``
+        and ``link`` columns, as lists); *link_names* decodes the
+        indices.  The decision loop is the exact scalar core --
+        per-link RNG streams advance record by record in stream order
+        -- so the drop pattern is bit-identical to filtering the same
+        records through :meth:`filter_batch`, without materialising a
+        single ``PacketRecord``.
+        """
+        import numpy as np
+
+        keep = self._keep
+        return np.fromiter(
+            (keep(link_names[index], time)
+             for time, index in zip(times, link_indices)),
+            dtype=bool, count=len(times),
+        )
 
     # ---- checkpoint support -------------------------------------------
 

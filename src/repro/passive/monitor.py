@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Iterable, Protocol
 
+import numpy as np
+
 from repro.net.packet import PROTO_TCP, PROTO_UDP, PacketRecord
 from repro.telemetry.metrics import registry as _telemetry_registry
 
@@ -34,10 +36,68 @@ class PacketObserver(Protocol):
     and falls back to per-record ``observe`` otherwise.  A batch
     implementation must be behaviourally identical to calling
     ``observe`` on each record in order.
+
+    Observers may further expose ``observe_columns(cols)`` consuming a
+    :class:`repro.trace.columnar.RecordColumns` batch; the columnar
+    replay engine (:func:`replay_columnar`) prefers it and otherwise
+    materialises the batch once (shared across all scalar observers of
+    the pass) and feeds ``observe_batch``.  The scalar-fallback
+    contract: ``observe_columns(cols)`` must be behaviourally identical
+    to ``observe_batch(cols.to_records())``, and an implementation that
+    cannot vectorise a configuration must delegate to exactly that.
     """
 
     def observe(self, record: PacketRecord) -> None:  # pragma: no cover
         ...
+
+
+def _campus_params(is_campus) -> tuple[int, int] | None:
+    """The (network, mask) of a vectorisable campus predicate.
+
+    :meth:`repro.campus.topology.CampusTopology.campus_predicate`
+    stamps its prefix parameters onto the closure; any predicate
+    without them (tests hand in arbitrary lambdas) is opaque, and the
+    caller must take its scalar path.
+    """
+    network = getattr(is_campus, "campus_network", None)
+    mask = getattr(is_campus, "campus_mask", None)
+    if network is None or mask is None:
+        return None
+    return network, mask
+
+
+def _link_lut(link_names: tuple[str, ...], links: frozenset[str]) -> np.ndarray:
+    """Boolean lookup table over link indices for a watched-links set."""
+    lut = np.zeros(len(link_names), dtype=bool)
+    for index, name in enumerate(link_names):
+        if name in links:
+            lut[index] = True
+    return lut
+
+
+def _group_min_into(
+    keys: np.ndarray, times: np.ndarray, proto: int,
+    first_seen: dict[Endpoint, float],
+) -> None:
+    """Fold per-key minimum times into *first_seen* (keys = addr<<16|port).
+
+    Sorting by (key, time) makes each group's first element its
+    minimum; only the unique keys reach Python, so the dict work is
+    proportional to distinct endpoints per batch, not records.
+    """
+    order = np.lexsort((times, keys))
+    sorted_keys = keys[order]
+    sorted_times = times[order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    )
+    for key, seen in zip(
+        sorted_keys[starts].tolist(), sorted_times[starts].tolist()
+    ):
+        endpoint = (key >> 16, key & 0xFFFF, proto)
+        previous = first_seen.get(endpoint)
+        if previous is None or seen < previous:
+            first_seen[endpoint] = seen
 
 
 def replay(
@@ -140,6 +200,90 @@ def replay_batched(
         for dispatch in dispatchers:
             dispatch(batch)
         count += len(batch)
+    return count
+
+
+def replay_columnar(
+    batches,
+    *observers: PacketObserver,
+    faults=None,
+) -> int:
+    """Feed :class:`~repro.trace.columnar.RecordColumns` batches into
+    all *observers*; return the record count.
+
+    The columnar counterpart of :func:`replay_batched`, built for the
+    v2 trace format: the reader hands out zero-copy column views
+    (:func:`repro.trace.columnar.read_trace_columns`) and observers
+    exposing ``observe_columns`` consume whole field arrays --
+    mask-based SYN-ACK selection, bincount accounting -- instead of
+    record objects.  Observers without a columnar path get the batch
+    materialised as records exactly once per batch (the list is cached
+    on the batch), so mixing vectorised and scalar observers costs one
+    decode, not one per observer.
+
+    Results are identical to :func:`replay_batched` over the same
+    stream, including under a *faults* filter: the filter's decision
+    loop consumes (link, time) pairs in stream order
+    (:meth:`repro.faults.capture.CaptureFilter.keep_mask`), so the drop
+    pattern matches the scalar paths bit for bit.
+    """
+    dispatchers = []
+    for observer in observers:
+        column_method = getattr(observer, "observe_columns", None)
+        if column_method is not None:
+            dispatchers.append((column_method, True))
+            continue
+        batch_method = getattr(observer, "observe_batch", None)
+        if batch_method is None:
+            batch_method = _batch_adapter(observer.observe)
+        dispatchers.append((batch_method, False))
+
+    def deliver(cols) -> None:
+        for dispatch, columnar in dispatchers:
+            if columnar:
+                dispatch(cols)
+            else:
+                dispatch(cols.to_records())
+
+    count = 0
+    reg = _telemetry_registry()
+    if reg.enabled:
+        # Mirrors replay_batched's instrumented branch: same metric
+        # names, so dashboards see one replay pipeline.
+        from time import perf_counter
+
+        chunk_seconds = reg.histogram(
+            "repro_replay_chunk_seconds",
+            "Wall time to dispatch one decoded chunk to all observers.",
+        )
+        chunks = reg.counter(
+            "repro_replay_chunks_total",
+            "Decoded chunks dispatched by batched replay.",
+        )
+        for cols in batches:
+            chunk_start = perf_counter()
+            if faults is not None:
+                mask = faults.keep_mask(
+                    cols.time.tolist(), cols.link.tolist(), cols.link_names
+                )
+                if not mask.all():
+                    cols = cols.compress(mask)
+            if len(cols):
+                deliver(cols)
+                count += len(cols)
+            chunk_seconds.observe(perf_counter() - chunk_start)
+            chunks.inc()
+        return count
+    for cols in batches:
+        if faults is not None:
+            mask = faults.keep_mask(
+                cols.time.tolist(), cols.link.tolist(), cols.link_names
+            )
+            if not mask.all():
+                cols = cols.compress(mask)
+        if len(cols):
+            deliver(cols)
+            count += len(cols)
     return count
 
 
@@ -296,6 +440,153 @@ class PassiveServiceTable:
                 # RST and flagless records carry no evidence.
             elif proto == PROTO_UDP:
                 observe_udp(record)
+
+    # ---- columnar fast path -----------------------------------------
+
+    def _can_vectorize(self) -> bool:
+        """Whether this table's configuration has a columnar fast path.
+
+        The vectorised path covers the paper's operating point: the
+        SYNACK evidence rule, the SPORT UDP rule, no time sampler, and
+        a prefix-parameterised campus predicate.  Everything else
+        (HANDSHAKE ablation, BIDIRECTIONAL UDP, samplers, opaque
+        predicates) delegates to the scalar batch path -- identical
+        results, per the observer contract.
+        """
+        return (
+            self.sampler is None
+            and self.signal is ServiceSignal.SYNACK
+            and (not self.udp_ports or self.udp_signal is UdpSignal.SPORT)
+            and _campus_params(self.is_campus) is not None
+        )
+
+    def _ports_array(self, cache_attr: str, ports) -> np.ndarray:
+        cached = self.__dict__.get(cache_attr)
+        if cached is None:
+            cached = np.array(sorted(ports), dtype=np.uint16)
+            self.__dict__[cache_attr] = cached
+        return cached
+
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch`: whole-array selection masks.
+
+        Consumes a :class:`repro.trace.columnar.RecordColumns` batch.
+        Evidence selection is mask algebra over the raw field arrays
+        (SYN-ACK bits, prefix membership, port sets); dict updates run
+        over the batch's *distinct* endpoints via sorted group
+        reductions, so per-record Python work disappears entirely.
+        """
+        if not self._can_vectorize():
+            self.observe_batch(cols.to_records())
+            return
+        network, mask = _campus_params(self.is_campus)
+        proto = cols.proto
+        flags = cols.flags
+        src = cols.src
+        dst = cols.dst
+        time = cols.time
+        base = None
+        if self.links is not None:
+            base = _link_lut(cols.link_names, self.links)[cols.link]
+            if not base.any():
+                return
+        src_campus = (src & mask) == network
+        dst_campus = (dst & mask) == network
+        tcp = proto == PROTO_TCP
+        if base is not None:
+            tcp &= base
+        exclude = None
+        if self.exclude_sources:
+            exclude = np.fromiter(
+                self.exclude_sources, dtype=np.uint32,
+                count=len(self.exclude_sources),
+            )
+
+        # SYN-ACK from a campus server to an outside client: the
+        # service-evidence signal (first_seen, min over the batch).
+        synack = tcp & ((flags & 0x12) == 0x12)
+        synack &= src_campus & ~dst_campus
+        if exclude is not None:
+            synack &= ~np.isin(dst, exclude)
+        if self.tcp_ports is not None:
+            synack &= np.isin(
+                cols.sport, self._ports_array("_tcp_ports_cache", self.tcp_ports)
+            )
+        index = np.flatnonzero(synack)
+        if index.size:
+            keys = (
+                src[index].astype(np.uint64) << np.uint64(16)
+            ) | cols.sport[index]
+            _group_min_into(keys, time[index], PROTO_TCP, self.first_seen)
+
+        # Bare ACK from an outside client to a campus server: the
+        # flow/client popularity accounting.
+        ack = tcp & ((flags & 0x12) == 0x10)
+        ack &= ~src_campus & dst_campus
+        if exclude is not None:
+            ack &= ~np.isin(src, exclude)
+        if self.tcp_ports is not None:
+            ack &= np.isin(
+                cols.dport, self._ports_array("_tcp_ports_cache", self.tcp_ports)
+            )
+        index = np.flatnonzero(ack)
+        if index.size:
+            keys = (
+                dst[index].astype(np.uint64) << np.uint64(16)
+            ) | cols.dport[index]
+            self._count_columns(keys, src[index], PROTO_TCP)
+
+        # Outbound datagram from a watched UDP server port (SPORT rule):
+        # evidence and accounting in one selection.
+        if self.udp_ports:
+            udp = proto == PROTO_UDP
+            if base is not None:
+                udp &= base
+            udp &= src_campus & ~dst_campus
+            udp &= np.isin(
+                cols.sport, self._ports_array("_udp_ports_cache", self.udp_ports)
+            )
+            if exclude is not None:
+                udp &= ~np.isin(dst, exclude)
+            index = np.flatnonzero(udp)
+            if index.size:
+                keys = (
+                    src[index].astype(np.uint64) << np.uint64(16)
+                ) | cols.sport[index]
+                _group_min_into(keys, time[index], PROTO_UDP, self.first_seen)
+                self._count_columns(keys, dst[index], PROTO_UDP)
+
+    def _count_columns(
+        self, keys: np.ndarray, clients: np.ndarray, proto: int
+    ) -> None:
+        """Vectorised :meth:`_count` over (addr<<16|port) keys.
+
+        Flow counts come from one ``np.unique`` with counts; client
+        sets from the distinct (key, client) pairs of a lexsort -- the
+        Python loops run over deduplicated pairs only.
+        """
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        flow_counts = self.flow_counts
+        for key, count in zip(unique_keys.tolist(), counts.tolist()):
+            endpoint = (key >> 16, key & 0xFFFF, proto)
+            flow_counts[endpoint] = flow_counts.get(endpoint, 0) + count
+        order = np.lexsort((clients, keys))
+        sorted_keys = keys[order]
+        sorted_clients = clients[order]
+        fresh = np.r_[
+            True,
+            (sorted_keys[1:] != sorted_keys[:-1])
+            | (sorted_clients[1:] != sorted_clients[:-1]),
+        ]
+        table = self.clients
+        for key, client in zip(
+            sorted_keys[fresh].tolist(), sorted_clients[fresh].tolist()
+        ):
+            endpoint = (key >> 16, key & 0xFFFF, proto)
+            served = table.get(endpoint)
+            if served is None:
+                served = table[endpoint] = set()
+            served.add(client)
 
     # ---- TCP --------------------------------------------------------
 

@@ -115,6 +115,71 @@ class ExternalScanDetector:
                 window = int(record.time // window_seconds)
                 note(rst_sources, (record.dst, window), record.src)
 
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch`: SYN/RST selection masks and
+        dedup before the bucket updates.
+
+        Buckets hold *distinct* members, so only the batch's unique
+        (source, window, member) triples need Python-level ``_note``
+        calls; duplicates within a batch (retransmits, repeated
+        conversations) are collapsed by one sort.
+        """
+        import numpy as np
+
+        from repro.passive.monitor import _campus_params
+
+        params = _campus_params(self.is_campus)
+        if params is None:
+            self.observe_batch(cols.to_records())
+            return
+        network, mask = params
+        tcp = cols.proto == PROTO_TCP
+        if not tcp.any():
+            return
+        flags = cols.flags
+        src = cols.src
+        dst = cols.dst
+        src_campus = (src & mask) == network
+        dst_campus = (dst & mask) == network
+        window = (
+            cols.time // self.config.window_seconds
+        ).astype(np.int64)
+        syn = tcp & ((flags & 0x02) != 0) & ((flags & 0x10) == 0)
+        syn &= ~src_campus & dst_campus
+        self._note_unique(
+            self._targets, src[syn], window[syn], dst[syn]
+        )
+        rst = tcp & ~(((flags & 0x02) != 0) & ((flags & 0x10) == 0))
+        rst &= (flags & 0x04) != 0
+        rst &= src_campus & ~dst_campus
+        self._note_unique(
+            self._rst_sources, dst[rst], window[rst], src[rst]
+        )
+
+    def _note_unique(self, table: dict, keys, windows, members) -> None:
+        """Bulk :meth:`_note` over parallel key/window/member arrays."""
+        import numpy as np
+
+        if not keys.size:
+            return
+        order = np.lexsort((members, windows, keys))
+        sorted_keys = keys[order]
+        sorted_windows = windows[order]
+        sorted_members = members[order]
+        fresh = np.r_[
+            True,
+            (sorted_keys[1:] != sorted_keys[:-1])
+            | (sorted_windows[1:] != sorted_windows[:-1])
+            | (sorted_members[1:] != sorted_members[:-1]),
+        ]
+        note = self._note
+        for key, window, member in zip(
+            sorted_keys[fresh].tolist(),
+            sorted_windows[fresh].tolist(),
+            sorted_members[fresh].tolist(),
+        ):
+            note(table, (key, window), member)
+
     def scanners(self) -> set[int]:
         """External sources satisfying both thresholds in some window."""
         return self.scanners_with(self.config.min_targets, self.config.min_rsts)

@@ -77,6 +77,19 @@ class LinkTap:
             ]
         self.table.observe_batch(records)
 
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch` (the table filters by link).
+
+        A tap-level fault filter must see exactly this link's records
+        in stream order, which the scalar comprehension already
+        guarantees; with faults present the batch falls back to the
+        record path rather than re-deriving that contract here.
+        """
+        if self.faults is not None:
+            self.observe_batch(cols.to_records())
+            return
+        self.table.observe_columns(cols)
+
 
 class MultiLinkMonitor:
     """Several link taps plus a combined all-links table, in one pass.
@@ -125,6 +138,26 @@ class MultiLinkMonitor:
         self.combined.observe_batch(records)
         for tap in self.taps.values():
             tap.observe_batch(records)
+
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch`: one shared fault mask, then
+        every tap and the combined table consume the same column batch.
+
+        The fault decision loop consumes (link, time) pairs in stream
+        order (:meth:`repro.faults.capture.CaptureFilter.keep_mask`),
+        so the drop pattern matches the scalar path bit for bit.
+        """
+        if self.faults is not None:
+            mask = self.faults.keep_mask(
+                cols.time.tolist(), cols.link.tolist(), cols.link_names
+            )
+            if not mask.all():
+                cols = cols.compress(mask)
+            if not len(cols):
+                return
+        self.combined.observe_columns(cols)
+        for tap in self.taps.values():
+            tap.observe_columns(cols)
 
     # ---- Table 8 queries --------------------------------------------
 

@@ -108,6 +108,53 @@ class WindowActivityObserver:
                 continue
             hits.setdefault(record.src, set()).add(window)
 
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch`: vectorised evidence masks and
+        ``searchsorted`` window assignment; only the batch's distinct
+        (address, window) pairs reach Python."""
+        import numpy as np
+
+        from repro.passive.monitor import _campus_params
+
+        params = _campus_params(self.is_campus)
+        if params is None:
+            self.observe_batch(cols.to_records())
+            return
+        network, mask = params
+        proto = cols.proto
+        flags = cols.flags
+        sport = cols.sport
+        evidence = (proto == PROTO_TCP) & ((flags & 0x12) == 0x12)
+        if self.tcp_ports is not None:
+            tcp_ports = np.array(sorted(self.tcp_ports), dtype=np.uint16)
+            evidence &= np.isin(sport, tcp_ports)
+        if self.udp_ports:
+            udp_ports = np.array(sorted(self.udp_ports), dtype=np.uint16)
+            evidence |= (proto == PROTO_UDP) & np.isin(sport, udp_ports)
+        src = cols.src
+        evidence &= (src & mask) == network
+        evidence &= (cols.dst & mask) != network
+        index = np.flatnonzero(evidence)
+        if not index.size:
+            return
+        times = cols.time[index]
+        starts = np.array(self._starts, dtype=np.float64)
+        ends = np.array([end for _, end in self.windows], dtype=np.float64)
+        window = np.searchsorted(starts, times, side="right") - 1
+        valid = window >= 0
+        clipped = np.where(valid, window, 0)
+        valid &= (starts[clipped] <= times) & (times < ends[clipped])
+        addresses = src[index][valid]
+        window = window[valid]
+        if not addresses.size:
+            return
+        pairs = (
+            addresses.astype(np.uint64) << np.uint64(32)
+        ) | window.astype(np.uint64)
+        hits = self.hits
+        for pair in np.unique(pairs).tolist():
+            hits.setdefault(pair >> 32, set()).add(pair & 0xFFFFFFFF)
+
     def addresses_active_in(self, window_index: int) -> set[int]:
         """Addresses with evidence inside the given window."""
         return {

@@ -47,10 +47,17 @@ from repro.stream.checkpoint import (
     save_checkpoint,
 )
 from repro.stream.ingest import DEFAULT_MAX_QUEUE_CHUNKS, StreamIngestor
-from repro.stream.shard import ShardState, merge_shards, merged_last_seen, split_batch
+from repro.stream.shard import (
+    ShardState,
+    merge_shards,
+    merged_last_seen,
+    split_batch,
+    split_columns,
+)
 from repro.stream.watermark import ActiveTimeline, Watermark, emit_schedule
 from repro.telemetry.metrics import registry as _telemetry_registry
 from repro.trace.cache import default_trace_cache
+from repro.trace.columnar import read_trace_columns
 from repro.trace.format import DEFAULT_BATCH_RECORDS, read_records_chunked
 
 
@@ -77,6 +84,11 @@ class StreamConfig:
     max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS
     faults: object | None = None
     end: float | None = None
+    #: Consume the cached trace as zero-copy column batches (vectorised
+    #: routing and shard folding).  Off, the engine decodes
+    #: ``PacketRecord`` lists as before; results are byte-identical
+    #: either way, so this is purely a throughput switch.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -161,9 +173,7 @@ class StreamEngine:
             return duration
         return min(self.config.end, duration)
 
-    def _source_batches(
-        self, skip: int, end: float
-    ) -> Iterator[list[PacketRecord]]:
+    def _source_batches(self, skip: int, end: float) -> Iterator:
         """Record batches starting *skip* records into the stream.
 
         Full-duration runs read the cached trace when one exists (the
@@ -172,6 +182,13 @@ class StreamEngine:
         the prefix, which is cheap because skipped records feed no
         observers.  Either way the records are identical, so a resumed
         run continues the exact stream the killed run was consuming.
+
+        With ``config.columnar`` (the default) cached traces are served
+        as :class:`repro.trace.columnar.RecordColumns` batches --
+        zero-copy views over the mapped file -- and the run loop,
+        fault filter, router, and shard workers all take their
+        vectorised paths.  Regenerated streams are always scalar (the
+        traffic model produces records one at a time).
         """
         config = self.config
         dataset = self.dataset
@@ -180,6 +197,13 @@ class StreamEngine:
             if cache.enabled:
                 cached = cache.lookup(dataset.trace_cache_key)
                 if cached is not None:
+                    if config.columnar:
+                        yield from read_trace_columns(
+                            cached,
+                            chunk_records=config.batch_records,
+                            skip_records=skip,
+                        )
+                        return
                     yield from read_records_chunked(
                         cached, config.batch_records, skip_records=skip
                     )
@@ -354,17 +378,40 @@ class StreamEngine:
         wall_start = perf_counter()
         try:
             for batch in self._source_batches(records_read, end):
+                # The source yields either PacketRecord lists or
+                # RecordColumns batches; both define len(), and every
+                # consumer below has a columnar counterpart.
+                columnar = not isinstance(batch, list)
                 records_read += len(batch)
                 if faults is not None:
-                    batch = faults.filter_batch(batch)
+                    if columnar:
+                        mask = faults.keep_mask(
+                            batch.time.tolist(),
+                            batch.link.tolist(),
+                            batch.link_names,
+                        )
+                        if not mask.all():
+                            batch = batch.compress(mask)
+                    else:
+                        batch = faults.filter_batch(batch)
                 records_delivered += len(batch)
-                if batch:
-                    last_time = batch[-1].time
+                if len(batch):
+                    last_time = (
+                        float(batch.time[-1]) if columnar else batch[-1].time
+                    )
                     if last_time > now:
                         now = last_time
                     if tap is not None:
-                        tap.observe_batch(batch)
-                    ingestor.dispatch(split_batch(batch, is_campus, shards))
+                        if columnar:
+                            tap.observe_columns(batch)
+                        else:
+                            tap.observe_batch(batch)
+                    if columnar:
+                        ingestor.dispatch(
+                            split_columns(batch, is_campus, shards)
+                        )
+                    else:
+                        ingestor.dispatch(split_batch(batch, is_campus, shards))
                 while emitted_index < len(marks) and now >= marks[emitted_index]:
                     ingestor.drain()
                     mark = marks[emitted_index]

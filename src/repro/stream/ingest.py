@@ -105,7 +105,10 @@ class StreamIngestor:
                 return
             started = perf_counter()
             try:
-                state.observe_batch(item)
+                if isinstance(item, list):
+                    state.observe_batch(item)
+                else:  # RecordColumns sub-batch from split_columns
+                    state.observe_columns(item)
             except BaseException as exc:  # noqa: BLE001 - surfaced on drain
                 self._errors.append(ShardWorkerError(index, exc))
                 work.task_done()
@@ -120,8 +123,15 @@ class StreamIngestor:
         if self._errors:
             raise self._errors[0]
 
-    def dispatch(self, parts: list[list[PacketRecord]]) -> None:
-        """Enqueue one routed batch (blocks when a shard queue is full)."""
+    def dispatch(self, parts: list) -> None:
+        """Enqueue one routed batch (blocks when a shard queue is full).
+
+        Each part is either a ``list[PacketRecord]`` sub-batch from
+        :func:`repro.stream.shard.split_batch` or a
+        :class:`repro.trace.columnar.RecordColumns` sub-batch from
+        :func:`repro.stream.shard.split_columns`; workers dispatch on
+        the type, so the two can even be mixed within one run.
+        """
         if self._closed:
             raise RuntimeError("ingestor already closed")
         self._raise_pending()

@@ -52,6 +52,51 @@ def shard_of(address: int, shards: int) -> int:
     return ((address * _HASH_MULTIPLIER) & 0xFFFFFFFF) % shards
 
 
+def split_columns(cols, is_campus: Callable[[int], bool], shards: int) -> list:
+    """Columnar :func:`split_batch`: one vectorised scatter per batch.
+
+    The owning-address rule is evaluated with ``np.where`` over the
+    whole batch, hashed with the same multiplier, and the batch is
+    permuted once with a *stable* argsort so each shard's sub-batch
+    preserves stream order -- the invariant the per-link fault and
+    handshake state machines rely on.
+    """
+    import numpy as np
+
+    from repro.passive.monitor import _campus_params
+
+    if shards <= 1:
+        return [cols]
+    src = cols.src
+    dst = cols.dst
+    proto = cols.proto
+    params = _campus_params(is_campus)
+    if params is not None:
+        network, mask = params
+        src_campus = (src & mask) == network
+    else:
+        src_campus = np.fromiter(
+            (is_campus(address) for address in src.tolist()),
+            dtype=bool, count=len(cols),
+        )
+    tcp = proto == PROTO_TCP
+    synack = tcp & ((cols.flags & 0x12) == 0x12)
+    udp_out = (proto == PROTO_UDP) & src_campus
+    owning = np.where(synack | udp_out, src, dst)
+    shard_index = (
+        (owning.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER))
+        & np.uint64(0xFFFFFFFF)
+    ) % np.uint64(shards)
+    order = np.argsort(shard_index, kind="stable")
+    routed = cols.take(order)
+    counts = np.bincount(shard_index, minlength=shards)
+    bounds = np.concatenate(([0], np.cumsum(counts))).tolist()
+    return [
+        routed.slice(bounds[index], bounds[index + 1])
+        for index in range(shards)
+    ]
+
+
 def split_batch(
     records: list[PacketRecord],
     is_campus: Callable[[int], bool],
@@ -120,6 +165,64 @@ class ShardState:
             previous = last_seen.get(endpoint)
             if previous is None or record.time > previous:
                 last_seen[endpoint] = record.time
+
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch`: table fast path plus a
+        group-max update of the last-seen timeline."""
+        import numpy as np
+
+        from repro.passive.monitor import _campus_params
+
+        table = self.table
+        params = _campus_params(table.is_campus)
+        if params is None:
+            self.observe_batch(cols.to_records())
+            return
+        table.observe_columns(cols)
+        self.records += len(cols)
+        network, mask = params
+        proto = cols.proto
+        sport = cols.sport
+        evidence = (proto == PROTO_TCP) & ((cols.flags & 0x12) == 0x12)
+        if table.tcp_ports is not None:
+            tcp_ports = np.array(sorted(table.tcp_ports), dtype=np.uint16)
+            evidence &= np.isin(sport, tcp_ports)
+        if table.udp_ports:
+            udp_ports = np.array(sorted(table.udp_ports), dtype=np.uint16)
+            evidence |= (proto == PROTO_UDP) & np.isin(sport, udp_ports)
+        src = cols.src
+        dst = cols.dst
+        evidence &= (src & mask) == network
+        evidence &= (dst & mask) != network
+        exclude = table.exclude_sources
+        if exclude:
+            evidence &= ~np.isin(dst, np.fromiter(exclude, dtype=np.uint32))
+        index = np.flatnonzero(evidence)
+        if not index.size:
+            return
+        src_e = src[index]
+        sport_e = sport[index]
+        proto_e = proto[index]
+        times = cols.time[index]
+        keys = (
+            (src_e.astype(np.uint64) << np.uint64(24))
+            | (sport_e.astype(np.uint64) << np.uint64(8))
+            | proto_e
+        )
+        order = np.lexsort((times, keys))
+        sorted_keys = keys[order]
+        group_last = order[np.r_[sorted_keys[1:] != sorted_keys[:-1], True]]
+        last_seen = self.last_seen
+        for address, port, proto_value, time in zip(
+            src_e[group_last].tolist(),
+            sport_e[group_last].tolist(),
+            proto_e[group_last].tolist(),
+            times[group_last].tolist(),
+        ):
+            endpoint = (address, port, proto_value)
+            previous = last_seen.get(endpoint)
+            if previous is None or time > previous:
+                last_seen[endpoint] = time
 
     # ---- checkpointing ------------------------------------------------
 

@@ -51,6 +51,29 @@ class ReplayTap:
                 synacks += 1
         self.synacks += synacks
 
+    def observe_columns(self, cols) -> None:
+        """Columnar :meth:`observe_batch`: three bincounts, no records."""
+        import numpy as np
+
+        count = len(cols)
+        self.records += count
+        if not count:
+            return
+        by_link = self.by_link
+        link_counts = np.bincount(cols.link, minlength=len(cols.link_names))
+        for index, link_count in enumerate(link_counts.tolist()):
+            if link_count:
+                link = cols.link_names[index]
+                by_link[link] = by_link.get(link, 0) + link_count
+        by_proto = self.by_proto
+        proto_values, proto_counts = np.unique(cols.proto, return_counts=True)
+        for proto, proto_count in zip(
+            proto_values.tolist(), proto_counts.tolist()
+        ):
+            by_proto[proto] = by_proto.get(proto, 0) + proto_count
+        tcp = cols.proto == PROTO_TCP
+        self.synacks += int(((cols.flags & 0x12) == 0x12)[tcp].sum())
+
     def flush_into(self, registry) -> None:
         """Fold this pass's counts into *registry* (once, at pass end)."""
         registry.counter(

@@ -9,9 +9,11 @@ every later replay streams the stored records back through the batched
 reader instead of regenerating the traffic.
 
 Cache entries are content-addressed by ``(dataset name, seed, scale,
-generator version)`` plus the on-disk format version, so a change to
-either the traffic generator or the record layout invalidates old
-entries without any bookkeeping.  Writes go to a temporary file in the
+generator version)`` plus the on-disk trace format version
+(:data:`repro.trace.format.TRACE_FORMAT_VERSION`), so a change to the
+traffic generator or the record layout invalidates old entries without
+any bookkeeping -- v1 and v2 artifacts of the same trace can never
+collide on one path.  Writes go to a temporary file in the
 cache directory and are published with an atomic rename, so concurrent
 builders (e.g. ``runner --jobs N`` workers) can race on the same key
 safely -- both produce identical bytes and the last rename wins.
@@ -138,14 +140,26 @@ class TraceCache:
             return cls(root=Path(value).expanduser())
         return cls()
 
-    def path_for(self, key: tuple) -> Path:
-        """The cache path a key maps to (whether or not it exists)."""
+    def path_for(self, key: tuple, format_version: int | None = None) -> Path:
+        """The cache path a key maps to (whether or not it exists).
+
+        The digest covers the on-disk trace format version alongside
+        the content key: an entry recorded in one format can never be
+        served for a lookup expecting another.  *format_version*
+        defaults to the version new recordings are written in.
+        """
+        if format_version is None:
+            from repro.trace.format import TRACE_FORMAT_VERSION
+
+            format_version = TRACE_FORMAT_VERSION
         digest = hashlib.sha256(
-            repr((CACHE_FORMAT_VERSION,) + tuple(key)).encode("utf-8")
+            repr(
+                (CACHE_FORMAT_VERSION, format_version) + tuple(key)
+            ).encode("utf-8")
         ).hexdigest()
         stem = str(key[0]) if key else "trace"
         safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in stem)
-        return self.root / f"{safe}-{digest[:16]}{TRACE_SUFFIX}"
+        return self.root / f"{safe}-v{format_version}-{digest[:16]}{TRACE_SUFFIX}"
 
     def lookup(self, key: tuple) -> Path | None:
         """Return the stored trace for *key*, counting a hit or miss.

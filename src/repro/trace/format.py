@@ -29,6 +29,15 @@ _VERSION = 1
 _HEADER = struct.Struct("<4sHHQ")
 _RECORD = struct.Struct("<dIIHHBBBB")
 
+#: Format versions readers understand.  1 is the flat packed-record
+#: stream this module writes; 2 is the chunked columnar layout of
+#: :mod:`repro.trace.columnar`.
+KNOWN_VERSIONS = (1, 2)
+
+#: The version new recordings are written in (the trace cache keys
+#: entries by this, so bumping it invalidates stale-format entries).
+TRACE_FORMAT_VERSION = 2
+
 #: Link names are stored as one-byte indices.
 _LINKS: tuple[str, ...] = ("", "commercial1", "commercial2", "internet2")
 _LINK_INDEX = {name: index for index, name in enumerate(_LINKS)}
@@ -106,47 +115,120 @@ class TraceWriter:
         return self._count
 
 
-def _read_header(fileobj: BinaryIO) -> int:
-    """Validate the header at the file position; return the record count."""
+def read_header(fileobj: BinaryIO) -> tuple[int, int]:
+    """Validate the header at the file position.
+
+    Returns ``(version, declared record count)``; accepts every version
+    in :data:`KNOWN_VERSIONS`.
+    """
     header = fileobj.read(_HEADER.size)
     if len(header) != _HEADER.size:
         raise ValueError("trace file too short for header")
     magic, version, _, count = _HEADER.unpack(header)
     if magic != _MAGIC:
         raise ValueError(f"bad trace magic: {magic!r}")
-    if version != _VERSION:
+    if version not in KNOWN_VERSIONS:
         raise ValueError(f"unsupported trace version: {version}")
+    return version, count
+
+
+def _read_header(fileobj: BinaryIO) -> int:
+    """Validate a *v1* header; return the record count."""
+    version, count = read_header(fileobj)
+    if version != _VERSION:
+        raise ValueError(f"expected a v1 trace, found version {version}")
     return count
+
+
+def trace_version(path: str | Path) -> int:
+    """The format version of the trace file at *path*."""
+    with open(path, "rb") as fileobj:
+        version, _count = read_header(fileobj)
+    return version
+
+
+def _stream_size(fileobj: BinaryIO) -> int:
+    """Total byte size of a seekable stream (position preserved)."""
+    position = fileobj.tell()
+    fileobj.seek(0, io.SEEK_END)
+    size = fileobj.tell()
+    fileobj.seek(position)
+    return size
 
 
 def trace_is_intact(path: str | Path) -> bool:
     """Cheap integrity probe: header valid and size matches its count.
 
     A writer that closed cleanly stamps the record count into the
-    header, which fixes the file's exact size.  A zero count with a
-    non-empty body means the writer never finished.
+    header, which fixes the file's exact size (for v2 together with the
+    chunk structure).  A zero count with a non-empty body means the
+    writer never finished.
     """
     try:
-        size = os.stat(path).st_size
         with open(path, "rb") as fileobj:
-            count = _read_header(fileobj)
+            version, count = read_header(fileobj)
+        if version != _VERSION:
+            from repro.trace.columnar import columnar_is_intact
+
+            return columnar_is_intact(path)
+        size = os.stat(path).st_size
     except (OSError, ValueError):
         return False
     return size == _HEADER.size + count * _RECORD.size
 
 
 class TraceReader:
-    """Streaming reader; iterates :class:`PacketRecord` values."""
+    """Streaming reader; iterates :class:`PacketRecord` values.
+
+    Reads both format versions: v1 decodes the packed record stream in
+    place; v2 delegates to the columnar reader and materialises
+    records batch by batch.  A zero record count in the header (a
+    writer that never finalised) is repaired by computing the count
+    from the file size, so downstream consumers that pre-size buffers
+    or seek by record index still take their batched paths.
+    """
 
     def __init__(self, fileobj: BinaryIO) -> None:
         self._file = fileobj
-        self.declared_count = _read_header(fileobj)
+        self.version, declared = read_header(fileobj)
+        if declared == 0 and self.version == _VERSION:
+            # Truncated-writer tolerance: records are fixed width, so
+            # the stream size fixes the count exactly.  A trailing
+            # partial record is ignored here and raises on iteration,
+            # matching the read-to-EOF behaviour.
+            body = _stream_size(fileobj) - _HEADER.size
+            declared = body // _RECORD.size
+        self.declared_count = declared
 
     @classmethod
     def open(cls, path: str | Path) -> "TraceReader":
-        return cls(open(path, "rb"))
+        reader = cls(open(path, "rb"))
+        if reader.version != _VERSION:
+            reader._path = Path(path)
+            if reader.declared_count == 0:
+                from repro.trace.columnar import columnar_record_count
+
+                reader.declared_count = columnar_record_count(path)
+        return reader
+
+    _path: Path | None = None
+
+    def _columnar_batches(
+        self, batch_size: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[list[PacketRecord]]:
+        if self._path is None:
+            raise ValueError(
+                "columnar traces must be opened by path (TraceReader.open)"
+            )
+        from repro.trace.columnar import read_columns_batched
+
+        return read_columns_batched(self._path, batch_size)
 
     def __iter__(self) -> Iterator[PacketRecord]:
+        if self.version != _VERSION:
+            for batch in self._columnar_batches():
+                yield from batch
+            return
         read = self._file.read
         size = _RECORD.size
         unpack = _RECORD.unpack
@@ -175,6 +257,8 @@ class TraceReader:
         self, batch_size: int = DEFAULT_BATCH_RECORDS
     ) -> Iterator[list[PacketRecord]]:
         """Decode the remaining records in bulk, *batch_size* at a time."""
+        if self.version != _VERSION:
+            return self._columnar_batches(batch_size)
         return _iter_batches(self._file, batch_size)
 
     def close(self) -> None:
@@ -251,12 +335,20 @@ def read_records_chunked(
         raise ValueError("skip_records must be >= 0")
     fileobj = open(path, "rb")
     try:
-        _read_header(fileobj)
+        version, _count = read_header(fileobj)
+        if version != _VERSION:
+            fileobj.close()
+            fileobj = None
+            from repro.trace.columnar import read_columns_batched
+
+            yield from read_columns_batched(path, batch_size, skip_records)
+            return
         if skip_records:
             fileobj.seek(skip_records * _RECORD.size, io.SEEK_CUR)
         yield from _iter_batches(fileobj, batch_size)
     finally:
-        fileobj.close()
+        if fileobj is not None:
+            fileobj.close()
 
 
 def write_trace(path: str | Path, records: Iterable[PacketRecord]) -> int:
