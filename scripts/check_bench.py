@@ -4,7 +4,8 @@
 Runs ``record_bench.py`` fresh (same dataset/scale/seed the committed
 ``BENCH_baseline.json`` was recorded under, unless overridden) and
 compares every ``records_per_sec`` figure -- scalar and columnar
-replay, scalar and columnar streaming ingest -- against the baseline.
+replay, scalar and columnar streaming ingest, and the process fabric
+(``stream_fabric``) -- against the baseline.
 The check fails when any figure drops below
 ``baseline * (1 - tolerance)``; improvements and small wobbles pass
 silently.  On top of the baseline comparison, the columnar rows are
@@ -44,6 +45,7 @@ GATED = (
     ("replay_columnar", "records_per_sec"),
     ("stream", "records_per_sec"),
     ("stream_columnar", "records_per_sec"),
+    ("stream_fabric", "records_per_sec"),
 )
 
 #: (columnar section, scalar section, minimum ratio) ratchets: the

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the distributed shard fabric.
+#
+# Runs a `repro stream --workers N` fabric to completion as the
+# reference, then attacks a checkpointing rerun twice:
+#
+#   1. SIGKILL a shard *worker* mid-ingest -- the supervisor must
+#      declare it dead, fail over (restore + replay), and finish the
+#      same run with a byte-identical report;
+#   2. SIGKILL the *supervisor* after the next committed manifest --
+#      orphaned workers must exit on their own, and --resume must
+#      continue from the manifest to a byte-identical report.
+#
+# Usage: scripts/fabric_kill_smoke.sh [scale] [workers]
+set -euo pipefail
+
+SCALE="${1:-0.1}"
+WORKERS="${2:-4}"
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+export PYTHONPATH="${PYTHONPATH:-src}"
+export REPRO_TRACE_CACHE="${REPRO_TRACE_CACHE:-$WORKDIR/trace-cache}"
+
+STORE="$WORKDIR/fabric-ckpt"
+STREAM=(python -m repro stream DTCP1-18d
+        --scale "$SCALE" --seed 11 --workers "$WORKERS"
+        --emit-every 96 --outage-fraction 0.02 --fault-seed 5
+        --heartbeat-interval 0.1 --miss-budget 4)
+
+echo "== reference: uninterrupted fabric run =="
+"${STREAM[@]}" --out "$WORKDIR/reference.txt"
+
+echo "== chaos run: SIGKILL one worker mid-ingest =="
+LOG="$WORKDIR/chaos.log"
+"${STREAM[@]}" --checkpoint-every 12 --checkpoint "$STORE" \
+    --out "$WORKDIR/survived.txt" >/dev/null 2>"$LOG" &
+SUPERVISOR=$!
+WORKER_PID=""
+for _ in $(seq 1 9000); do
+    if grep -q "fabric: manifest" "$LOG" 2>/dev/null; then
+        WORKER_PID="$(sed -n 's/.*fabric: launch shard=. incarnation=0 pid=\([0-9]*\).*/\1/p' "$LOG" | head -1)"
+        [ -n "$WORKER_PID" ] && break
+    fi
+    kill -0 "$SUPERVISOR" 2>/dev/null || break
+    sleep 0.02
+done
+if [ -z "$WORKER_PID" ]; then
+    echo "FAIL: no worker launch + manifest before the run ended" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+kill -KILL "$WORKER_PID" 2>/dev/null || true
+if ! wait "$SUPERVISOR"; then
+    echo "FAIL: supervisor did not survive the worker kill" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q "fabric: dead" "$LOG" || {
+    echo "FAIL: supervisor never declared the killed worker dead" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+if ! cmp "$WORKDIR/reference.txt" "$WORKDIR/survived.txt"; then
+    echo "FAIL: report after worker failover differs from reference" >&2
+    exit 1
+fi
+echo "worker failover: byte-identical ($(grep -c 'fabric: dead' "$LOG") deaths handled)"
+
+echo "== chaos run: SIGKILL the supervisor, then resume =="
+LOG2="$WORKDIR/supervisor.log"
+"${STREAM[@]}" --checkpoint-every 12 --checkpoint "$STORE" \
+    --out "$WORKDIR/resumed.txt" >/dev/null 2>"$LOG2" &
+SUPERVISOR=$!
+for _ in $(seq 1 9000); do
+    ls "$STORE"/manifest.gen-*.ckpt >/dev/null 2>&1 && break
+    kill -0 "$SUPERVISOR" 2>/dev/null || break
+    sleep 0.02
+done
+if ! kill -KILL "$SUPERVISOR" 2>/dev/null; then
+    echo "FAIL: fabric run finished before it could be killed" >&2
+    cat "$LOG2" >&2
+    exit 1
+fi
+wait "$SUPERVISOR" || true
+if ! ls "$STORE"/manifest.gen-*.ckpt >/dev/null 2>&1; then
+    echo "FAIL: no committed manifest before the kill" >&2
+    exit 1
+fi
+if [ -f "$WORKDIR/resumed.txt" ]; then
+    echo "FAIL: killed run should not have produced a report" >&2
+    exit 1
+fi
+
+echo "== resume =="
+"${STREAM[@]}" --checkpoint-every 12 --checkpoint "$STORE" --resume \
+    --out "$WORKDIR/resumed.txt" 2>"$WORKDIR/resume.log"
+grep -q "resuming:" "$WORKDIR/resume.log" || {
+    echo "FAIL: resume did not pick up the manifest" >&2
+    cat "$WORKDIR/resume.log" >&2
+    exit 1
+}
+if ! cmp "$WORKDIR/reference.txt" "$WORKDIR/resumed.txt"; then
+    echo "FAIL: resumed report differs from the uninterrupted run" >&2
+    exit 1
+fi
+if ls "$STORE"/*.ckpt >/dev/null 2>&1; then
+    echo "FAIL: checkpoint store not cleared after the clean finish" >&2
+    exit 1
+fi
+echo "PASS: fabric reports byte-identical under worker kill and supervisor kill+resume"

@@ -16,14 +16,17 @@ row (the sharded pipeline of :mod:`repro.stream` over the same cached
 trace), so stream-engine regressions gate the same way replay
 regressions do (``scripts/check_bench.py``).
 
-Four throughput rows are recorded.  ``replay`` is the *scalar v1
+Five throughput rows are recorded.  ``replay`` is the *scalar v1
 path*: the cached (v2) trace is converted to a temporary v1 file and
 replayed through the per-record decoder, so the row keeps measuring
 what it always measured; ``stream`` runs the engine with its columnar
 source disabled (per-record decode and routing).  ``replay_columnar``
 and ``stream_columnar`` run the same observers over the columnar
 zero-copy path; ``check_bench.py`` ratchets the columnar rows to stay
-at least 5x their scalar counterparts.
+at least 5x their scalar counterparts.  ``stream_fabric`` runs the
+same stream through the supervised worker-*process* fabric
+(``--fabric-workers``, default 4), gating the multiprocessing path's
+throughput alongside the in-process ones.
 
 Usage::
 
@@ -98,6 +101,23 @@ def timed_stream_pass(
     return result.records_read, time.perf_counter() - started
 
 
+def timed_fabric_pass(args, dataset, workers: int) -> tuple[int, float]:
+    """One full fabric run (supervised worker processes, cached trace)."""
+    from repro.stream import FabricConfig, FabricSupervisor, StreamConfig
+
+    supervisor = FabricSupervisor(
+        StreamConfig(
+            dataset=args.dataset, seed=args.seed, scale=args.scale,
+            shards=workers,
+        ),
+        FabricConfig(),
+        dataset=dataset,
+    )
+    started = time.perf_counter()
+    result = supervisor.run()
+    return result.records_read, time.perf_counter() - started
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dataset", default="DTCPall")
@@ -106,6 +126,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--stream-shards", type=int, default=2,
                         help="shard count for the streaming-ingest row")
+    parser.add_argument("--fabric-workers", type=int, default=4,
+                        help="worker-process count for the fabric row")
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_baseline.json")
     )
@@ -156,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
             timed_stream_pass(args, dataset, args.stream_shards, True)
             for _ in range(args.repeats)
         ]
+        fabric = [
+            timed_fabric_pass(args, dataset, args.fabric_workers)
+            for _ in range(args.repeats)
+        ]
         v1_bytes = v1_path.stat().st_size
 
     records = disabled[0][0]
@@ -164,10 +190,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     stream_records = streamed[0][0]
     assert all(
-        count == stream_records for count, _ in streamed + stream_columnar
+        count == stream_records
+        for count, _ in streamed + stream_columnar + fabric
     )
     best_stream = min(seconds for _, seconds in streamed)
     best_stream_columnar = min(seconds for _, seconds in stream_columnar)
+    best_fabric = min(seconds for _, seconds in fabric)
     best_disabled = min(seconds for _, seconds in disabled)
     best_enabled = min(seconds for _, seconds in enabled)
     best_columnar = min(seconds for _, seconds in columnar)
@@ -215,6 +243,12 @@ def main(argv: list[str] | None = None) -> int:
                 best_stream / best_stream_columnar, 2
             ),
         },
+        "stream_fabric": {
+            "records": stream_records,
+            "workers": args.fabric_workers,
+            "best_seconds": round(best_fabric, 4),
+            "records_per_sec": round(stream_records / best_fabric, 1),
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
@@ -228,7 +262,9 @@ def main(argv: list[str] | None = None) -> int:
           f"stream {baseline['stream']['records_per_sec']:,.0f} / "
           f"{baseline['stream_columnar']['records_per_sec']:,.0f} rec/s "
           f"({args.stream_shards} shards, "
-          f"{baseline['stream_columnar']['speedup_vs_scalar']:.1f}x)")
+          f"{baseline['stream_columnar']['speedup_vs_scalar']:.1f}x), "
+          f"fabric {baseline['stream_fabric']['records_per_sec']:,.0f} rec/s "
+          f"({args.fabric_workers} workers)")
     return 0
 
 

@@ -152,15 +152,19 @@ def cmd_stream(args: argparse.Namespace) -> int:
             outage_fraction=args.outage_fraction,
             outage_count=args.outage_count,
         )
+    fabric_mode = bool(args.fabric or args.workers is not None)
+    shards = args.workers if args.workers is not None else args.shards
     checkpoint = args.checkpoint
     if checkpoint is None and (args.checkpoint_every is not None or args.resume):
         base = args.out if args.out else f"{args.dataset}-stream"
-        checkpoint = f"{base}.checkpoint"
+        # The fabric checkpoints into a per-shard store *directory*;
+        # the threaded engine keeps its single snapshot file.
+        checkpoint = f"{base}.fabric-ckpt" if fabric_mode else f"{base}.checkpoint"
     config = StreamConfig(
         dataset=args.dataset,
         seed=args.seed,
         scale=args.scale,
-        shards=args.shards,
+        shards=shards,
         batch_records=args.batch_records,
         emit_every=hours(args.emit_every) if args.emit_every else None,
         checkpoint_every=(
@@ -170,11 +174,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
         max_queue_chunks=args.queue_chunks,
         faults=plan,
     )
-    engine = StreamEngine(config)
     if args.resume and checkpoint:
         from pathlib import Path
 
-        if Path(checkpoint).exists():
+        if fabric_mode:
+            from repro.stream import ShardCheckpointStore
+
+            if ShardCheckpointStore(checkpoint).generations():
+                print(f"resuming: {checkpoint}", file=sys.stderr)
+        elif Path(checkpoint).exists():
             print(f"resuming: {checkpoint}", file=sys.stderr)
 
     def _terminate(signum, frame):  # pragma: no cover - exercised via smoke
@@ -188,7 +196,47 @@ def cmd_stream(args: argparse.Namespace) -> int:
             (lambda watermark: print(watermark.render()))
             if args.emit_every else None
         )
-        result = engine.run(resume=args.resume, progress=progress)
+        if fabric_mode:
+            from repro.stream import (
+                FabricConfig,
+                FabricDegradedError,
+                FabricSupervisor,
+            )
+
+            worker_plan = None
+            if (
+                args.worker_crash_rate
+                or args.worker_stall_rate
+                or args.worker_heartbeat_drop_rate
+            ):
+                from repro.faults.worker import WorkerFaultPlan
+
+                worker_plan = WorkerFaultPlan(
+                    seed=args.worker_fault_seed,
+                    crash_rate=args.worker_crash_rate,
+                    stall_rate=args.worker_stall_rate,
+                    heartbeat_drop_rate=args.worker_heartbeat_drop_rate,
+                )
+            fabric_config = FabricConfig(
+                heartbeat_interval=args.heartbeat_interval,
+                miss_budget=args.miss_budget,
+                max_restarts=args.max_restarts,
+                worker_faults=worker_plan,
+            )
+            supervisor = FabricSupervisor(config, fabric_config)
+            try:
+                result = supervisor.run(
+                    resume=args.resume,
+                    progress=progress,
+                    on_event=lambda line: print(line, file=sys.stderr),
+                )
+            except FabricDegradedError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 3
+        else:
+            result = StreamEngine(config).run(
+                resume=args.resume, progress=progress
+            )
     except KeyboardInterrupt:
         if checkpoint:
             print(f"interrupted; checkpoint saved to {checkpoint}",
@@ -222,7 +270,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             scale=args.scale,
             faults=plan,
             arguments={
-                "shards": args.shards,
+                "shards": shards,
+                "fabric": fabric_mode,
                 "emit_every_hours": args.emit_every,
                 "checkpoint_every_hours": args.checkpoint_every,
                 "resumed": result.resumed,
@@ -617,6 +666,36 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--shards", type=int, default=2,
                         help="partition the stream across N shard workers")
     stream.add_argument(
+        "--fabric", action="store_true",
+        help="run shards as supervised worker processes (the "
+             "distributed fabric) instead of in-process threads",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker process count for the fabric (implies --fabric; "
+             "overrides --shards)",
+    )
+    stream.add_argument("--heartbeat-interval", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="fabric worker heartbeat cadence")
+    stream.add_argument("--miss-budget", type=int, default=8,
+                        help="heartbeats a fabric worker may miss before "
+                             "it is declared dead")
+    stream.add_argument("--max-restarts", type=int, default=3,
+                        help="restarts per shard before the fabric fails "
+                             "the run as degraded")
+    stream.add_argument("--worker-crash-rate", type=float, default=0.0,
+                        help="chaos: probability a worker incarnation "
+                             "crashes at a seeded record count")
+    stream.add_argument("--worker-stall-rate", type=float, default=0.0,
+                        help="chaos: probability a worker incarnation "
+                             "stalls (stops consuming and beating)")
+    stream.add_argument("--worker-heartbeat-drop-rate", type=float,
+                        default=0.0,
+                        help="chaos: probability a worker incarnation "
+                             "silently drops a run of heartbeats")
+    stream.add_argument("--worker-fault-seed", type=int, default=0)
+    stream.add_argument(
         "--emit-every", type=float, default=None, metavar="H",
         help="emit a windowed-completeness watermark every H sim-hours",
     )
@@ -625,8 +704,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an atomic state checkpoint every H sim-hours",
     )
     stream.add_argument(
-        "--checkpoint", default=None, metavar="FILE",
-        help="checkpoint file (default: derived from --out or the dataset)",
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file (threaded) or per-shard store directory "
+             "(fabric); default derived from --out or the dataset",
     )
     stream.add_argument("--resume", action="store_true",
                         help="resume from the checkpoint file if present")

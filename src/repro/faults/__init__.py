@@ -22,5 +22,12 @@ stay byte-identical to a build that never imported this package.
 from repro.faults.active import ProbeFaults
 from repro.faults.capture import CaptureFilter
 from repro.faults.plan import FaultPlan
+from repro.faults.worker import WorkerFaultEvents, WorkerFaultPlan
 
-__all__ = ["CaptureFilter", "FaultPlan", "ProbeFaults"]
+__all__ = [
+    "CaptureFilter",
+    "FaultPlan",
+    "ProbeFaults",
+    "WorkerFaultEvents",
+    "WorkerFaultPlan",
+]

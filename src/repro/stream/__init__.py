@@ -16,7 +16,11 @@ Entry point: ``python -m repro stream DATASET --shards N``.
 
 from repro.stream.checkpoint import (
     STREAM_CHECKPOINT_VERSION,
+    CheckpointCorrupt,
     CheckpointError,
+    RestorePlan,
+    ShardCheckpointStore,
+    ShardRestore,
     checkpoint_config,
     load_checkpoint,
     save_checkpoint,
@@ -26,12 +30,21 @@ from repro.stream.engine import (
     StreamEngine,
     StreamResult,
     batch_survey_report,
+    finalize_result,
+)
+from repro.stream.fabric import (
+    FabricConfig,
+    FabricDegradedError,
+    FabricError,
+    FabricSupervisor,
 )
 from repro.stream.ingest import (
     DEFAULT_MAX_QUEUE_CHUNKS,
+    IngestStallError,
     ShardWorkerError,
     StreamIngestor,
 )
+from repro.stream.membership import Member, Membership
 from repro.stream.shard import (
     ShardState,
     merge_shards,
@@ -49,9 +62,20 @@ from repro.stream.watermark import (
 
 __all__ = [
     "ActiveTimeline",
+    "CheckpointCorrupt",
     "CheckpointError",
     "DEFAULT_MAX_QUEUE_CHUNKS",
+    "FabricConfig",
+    "FabricDegradedError",
+    "FabricError",
+    "FabricSupervisor",
+    "IngestStallError",
+    "Member",
+    "Membership",
+    "RestorePlan",
     "STREAM_CHECKPOINT_VERSION",
+    "ShardCheckpointStore",
+    "ShardRestore",
     "ShardState",
     "ShardWorkerError",
     "StreamConfig",
@@ -62,6 +86,7 @@ __all__ = [
     "batch_survey_report",
     "checkpoint_config",
     "emit_schedule",
+    "finalize_result",
     "load_checkpoint",
     "merge_shards",
     "merged_last_seen",

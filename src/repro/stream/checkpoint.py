@@ -1,4 +1,4 @@
-"""Versioned, atomic checkpoints of a stream run's state.
+"""Versioned, atomic, integrity-checked checkpoints of stream state.
 
 A checkpoint captures everything a killed stream run needs to resume
 *bit-identically*: the raw source offset (records read, always a batch
@@ -9,28 +9,70 @@ than pickling live objects, since the passive table's campus predicate
 is an unpicklable closure (and reconstructing from config keeps old
 checkpoints loadable as code evolves).
 
-Writes are atomic (tmp file + ``os.replace`` in the same directory),
-so a SIGKILL mid-write leaves the previous checkpoint intact -- the
-kill/resume smoke test fires signals at arbitrary points and must
-always find either the old or the new snapshot, never a torn one.
+Two durability layers protect every artifact this module writes:
 
-The format carries a version field; :func:`load_checkpoint` rejects
-unknown versions and config mismatches loudly instead of resuming a
-stream it cannot faithfully continue.
+* **Atomic, fsynced writes.**  Data goes to a tmp file that is fsynced
+  and ``os.replace``d into place, and then the *parent directory* is
+  fsynced too -- the rename itself is metadata, and a crash right after
+  ``os.replace`` could otherwise roll the directory entry back to the
+  old (or no) file on power loss.
+* **A length + CRC32 trailer.**  Every file ends with an 8-byte
+  ``(payload length, crc32)`` trailer checked before unpickling, so a
+  truncated or bit-flipped checkpoint surfaces as a clear
+  :class:`CheckpointCorrupt` naming the file instead of a raw
+  ``UnpicklingError``/``EOFError`` from deep inside pickle.
+
+Beyond the single-file snapshot the threaded engine writes
+(:func:`save_checkpoint` / :func:`load_checkpoint`), this module
+provides the fabric's **per-shard checkpoint store**
+(:class:`ShardCheckpointStore`): each worker process writes its own
+``shard-SSS.gen-GGGGGG.ckpt`` file, and the supervisor commits a
+``manifest.gen-GGGGGG.ckpt`` naming the generation only after every
+shard acked -- so a generation is either fully committed or invisible.
+The store retains the last ``keep_generations`` committed generations;
+a corrupt file in the newest generation falls back to the previous
+good one (the caller replays the wider source gap to catch up).
+
+The format carries a version field; loaders reject unknown versions
+and config mismatches loudly instead of resuming a stream they cannot
+faithfully continue.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import re
+import struct
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 
-#: Bump when the snapshot layout changes incompatibly.
-STREAM_CHECKPOINT_VERSION = 1
+#: Bump when the snapshot layout changes incompatibly.  Version 2 added
+#: the length+CRC32 integrity trailer (version-1 files, having no
+#: trailer, now read as corrupt -- checkpoints are ephemeral run state,
+#: never long-lived artifacts).
+STREAM_CHECKPOINT_VERSION = 2
+
+#: Integrity trailer: little-endian (payload length, CRC32 of payload).
+_TRAILER = struct.Struct("<II")
+
+_SHARD_FILE = "shard-{shard:03d}.gen-{generation:06d}.ckpt"
+_MANIFEST_FILE = "manifest.gen-{generation:06d}.ckpt"
+_MANIFEST_RE = re.compile(r"^manifest\.gen-(\d{6})\.ckpt$")
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint exists but cannot be used to resume this run."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint file failed its integrity check (names the file)."""
+
+    def __init__(self, path: "str | Path", detail: str) -> None:
+        super().__init__(f"checkpoint {path} is corrupt: {detail}")
+        self.path = Path(path)
+        self.detail = detail
 
 
 def checkpoint_config(
@@ -46,47 +88,349 @@ def checkpoint_config(
     }
 
 
-def save_checkpoint(path: str | Path, payload: dict) -> int:
-    """Atomically write *payload* as the new checkpoint; return its size.
+# ---- framing and durable writes ---------------------------------------
+
+
+def _frame(data: bytes) -> bytes:
+    """Append the length+CRC32 integrity trailer to *data*."""
+    return data + _TRAILER.pack(len(data), zlib.crc32(data))
+
+
+def _unframe(raw: bytes, path: "str | Path") -> bytes:
+    """Strip and verify the trailer; raise :class:`CheckpointCorrupt`."""
+    if len(raw) < _TRAILER.size:
+        raise CheckpointCorrupt(
+            path, f"only {len(raw)} bytes, shorter than the integrity trailer"
+        )
+    data = raw[: -_TRAILER.size]
+    length, crc = _TRAILER.unpack(raw[-_TRAILER.size:])
+    if length != len(data):
+        raise CheckpointCorrupt(
+            path,
+            f"trailer says {length} payload bytes but file holds "
+            f"{len(data)} (truncated or torn write)",
+        )
+    if crc != zlib.crc32(data):
+        raise CheckpointCorrupt(path, "CRC32 mismatch (bit flip or torn write)")
+    return data
+
+
+def fsync_directory(directory: "str | Path") -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path: "str | Path", data: bytes) -> int:
+    """Durably write *data* to *path*: tmp + fsync + rename + dir fsync.
 
     The temporary file lives next to the target so ``os.replace`` is a
-    same-filesystem rename (atomic on POSIX).
+    same-filesystem rename (atomic on POSIX); fsyncing the parent
+    directory afterwards makes the rename itself durable -- without it
+    a crash right after the rename can lose the new directory entry
+    even though the file's blocks hit the platter.
     """
     path = Path(path)
-    payload = dict(payload, version=STREAM_CHECKPOINT_VERSION)
     tmp = path.with_name(path.name + ".tmp")
-    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     with open(tmp, "wb") as fileobj:
         fileobj.write(data)
         fileobj.flush()
         os.fsync(fileobj.fileno())
     os.replace(tmp, path)
+    fsync_directory(path.parent)
     return len(data)
 
 
-def load_checkpoint(path: str | Path, config: dict) -> dict:
-    """Load and validate a checkpoint against this run's *config*.
+def _dump(payload: dict) -> bytes:
+    return _frame(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
-    Raises :class:`CheckpointError` when the file is unreadable, its
-    version is unknown, or it was taken under a different
-    (dataset, seed, scale, shards, faults) identity.
-    """
-    path = Path(path)
+
+def _load_payload(path: "str | Path") -> dict:
+    """Read, integrity-check, and unpickle one checkpoint file."""
     try:
-        with open(path, "rb") as fileobj:
-            payload = pickle.load(fileobj)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    data = _unframe(raw, path)
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CheckpointCorrupt(
+            path, f"payload passed CRC but does not unpickle: {exc!r}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointCorrupt(
+            path, f"payload is {type(payload).__name__}, expected dict"
+        )
+    return payload
+
+
+def _validate(payload: dict, path: "str | Path", config: dict | None) -> dict:
     version = payload.get("version")
     if version != STREAM_CHECKPOINT_VERSION:
         raise CheckpointError(
             f"checkpoint {path} has version {version!r}; "
             f"this build reads version {STREAM_CHECKPOINT_VERSION}"
         )
-    saved = payload.get("config")
-    if saved != config:
-        raise CheckpointError(
-            f"checkpoint {path} was taken under a different run identity: "
-            f"saved {saved!r}, current {config!r}"
-        )
+    if config is not None:
+        saved = payload.get("config")
+        if saved != config:
+            raise CheckpointError(
+                f"checkpoint {path} was taken under a different run identity: "
+                f"saved {saved!r}, current {config!r}"
+            )
     return payload
+
+
+# ---- the single-file snapshot (threaded engine) -----------------------
+
+
+def save_checkpoint(path: "str | Path", payload: dict) -> int:
+    """Atomically write *payload* as the new checkpoint; return its size."""
+    payload = dict(payload, version=STREAM_CHECKPOINT_VERSION)
+    return write_atomic(path, _dump(payload))
+
+
+def load_checkpoint(path: "str | Path", config: dict) -> dict:
+    """Load and validate a checkpoint against this run's *config*.
+
+    Raises :class:`CheckpointCorrupt` when the file fails its
+    length/CRC32 trailer or does not unpickle, and the broader
+    :class:`CheckpointError` when its version is unknown or it was
+    taken under a different (dataset, seed, scale, shards, faults)
+    identity.
+    """
+    return _validate(_load_payload(path), path, config)
+
+
+# ---- the per-shard store (fabric) -------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardRestore:
+    """Where one shard's state can be restored from.
+
+    ``state`` is the shard's ``state_dict`` snapshot (``None`` means no
+    usable checkpoint survives: start fresh).  ``records_read`` is the
+    global source offset the state corresponds to and ``faults`` the
+    capture filter's state at that offset -- together they let the
+    supervisor replay exactly the gap ``[records_read, now)`` from the
+    trace to catch the shard up.
+    """
+
+    shard: int
+    state: dict | None
+    records_read: int
+    faults: dict | None
+
+    @property
+    def fresh(self) -> bool:
+        return self.state is None
+
+
+@dataclass(frozen=True)
+class RestorePlan:
+    """A full supervisor restore: the resume point plus per-shard bases.
+
+    ``manifest`` is the newest committed manifest (run progress resumes
+    from it); each entry of ``shards`` may sit at an older generation
+    (its newest file was corrupt) or at generation zero (fresh), in
+    which case the supervisor replays the source gap up to the
+    manifest's offset before resuming the live stream.
+    """
+
+    generation: int
+    manifest: dict
+    shards: tuple[ShardRestore, ...]
+
+
+class ShardCheckpointStore:
+    """Per-shard checkpoint files plus generation manifests, in one dir.
+
+    Layout::
+
+        <root>/shard-003.gen-000007.ckpt   one file per shard per generation
+        <root>/manifest.gen-000007.ckpt    commit record for generation 7
+
+    Workers write their own shard files (the supervisor never touches
+    shard state); the supervisor writes the manifest last, so the
+    manifest's existence *is* the commit.  ``keep_generations``
+    committed generations are retained, giving corruption fallback one
+    generation of slack by default.
+    """
+
+    def __init__(self, root: "str | Path", keep_generations: int = 2) -> None:
+        if keep_generations < 1:
+            raise ValueError("keep_generations must be >= 1")
+        self.root = Path(root)
+        self.keep_generations = keep_generations
+
+    # ---- paths --------------------------------------------------------
+
+    def shard_path(self, shard: int, generation: int) -> Path:
+        return self.root / _SHARD_FILE.format(shard=shard, generation=generation)
+
+    def manifest_path(self, generation: int) -> Path:
+        return self.root / _MANIFEST_FILE.format(generation=generation)
+
+    def generations(self) -> list[int]:
+        """Committed (manifest-bearing) generations, newest first."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for entry in self.root.iterdir():
+            match = _MANIFEST_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found, reverse=True)
+
+    # ---- writes -------------------------------------------------------
+
+    def save_shard(
+        self, shard: int, generation: int, config: dict, state: dict
+    ) -> Path:
+        """Write one shard's snapshot for *generation* (worker side)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(shard, generation)
+        payload = {
+            "version": STREAM_CHECKPOINT_VERSION,
+            "config": config,
+            "shard": shard,
+            "generation": generation,
+            "state": state,
+        }
+        write_atomic(path, _dump(payload))
+        return path
+
+    def save_manifest(
+        self, generation: int, config: dict, progress: dict
+    ) -> Path:
+        """Commit *generation*: write its manifest, then prune old ones.
+
+        Call only after every shard of the generation acked its file;
+        the manifest carries the run-level progress (source offset,
+        delivered count, stream time, watermarks, fault-filter state)
+        that defines what the shard files are a consistent cut of.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.manifest_path(generation)
+        payload = {
+            "version": STREAM_CHECKPOINT_VERSION,
+            "config": config,
+            "generation": generation,
+        }
+        payload.update(progress)
+        write_atomic(path, _dump(payload))
+        self.prune(generation)
+        return path
+
+    def prune(self, newest_generation: int) -> None:
+        """Drop generations older than the retained window (best effort)."""
+        keep_from = newest_generation - self.keep_generations + 1
+        if not self.root.is_dir():
+            return
+        for entry in list(self.root.iterdir()):
+            match = re.search(r"\.gen-(\d{6})\.ckpt$", entry.name)
+            if match and int(match.group(1)) < keep_from:
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+            elif entry.name.endswith(".tmp"):
+                # Torn write from a killed worker; never referenced.
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Remove every checkpoint artifact (the clean-finish path)."""
+        if not self.root.is_dir():
+            return
+        for entry in list(self.root.iterdir()):
+            if entry.name.endswith((".ckpt", ".tmp")):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+        try:
+            self.root.rmdir()
+        except OSError:
+            pass  # directory shared or not empty: leave it
+
+    # ---- reads --------------------------------------------------------
+
+    def load_manifest(self, generation: int, config: dict | None) -> dict:
+        path = self.manifest_path(generation)
+        payload = _validate(_load_payload(path), path, config)
+        if payload.get("generation") != generation:
+            raise CheckpointCorrupt(
+                path,
+                f"manifest claims generation {payload.get('generation')!r}",
+            )
+        return payload
+
+    def load_shard(self, shard: int, generation: int, config: dict | None) -> dict:
+        path = self.shard_path(shard, generation)
+        payload = _validate(_load_payload(path), path, config)
+        if payload.get("shard") != shard or payload.get("generation") != generation:
+            raise CheckpointCorrupt(
+                path,
+                f"file claims shard {payload.get('shard')!r} generation "
+                f"{payload.get('generation')!r}",
+            )
+        return payload
+
+    def restore_shard(
+        self, shard: int, config: dict, upto_generation: int
+    ) -> ShardRestore:
+        """The newest usable snapshot of *shard* at or below a generation.
+
+        Walks committed generations newest-first; a corrupt shard file
+        (or corrupt manifest) falls back to the previous good
+        generation, and when nothing survives the shard restarts fresh
+        from offset zero -- the supervisor replays the difference.
+        """
+        for generation in self.generations():
+            if generation > upto_generation:
+                continue
+            try:
+                manifest = self.load_manifest(generation, config)
+                payload = self.load_shard(shard, generation, config)
+            except CheckpointError:
+                continue
+            return ShardRestore(
+                shard=shard,
+                state=payload["state"],
+                records_read=int(manifest["records_read"]),
+                faults=manifest.get("faults"),
+            )
+        return ShardRestore(shard=shard, state=None, records_read=0, faults=None)
+
+    def plan_restore(self, config: dict) -> RestorePlan | None:
+        """The full restore for a resumed supervisor, or ``None``.
+
+        Picks the newest committed generation whose manifest loads and
+        matches *config* as the resume point, then restores each shard
+        from the newest generation (at or below it) whose files
+        verify.  Returns ``None`` when no usable manifest exists --
+        the caller cold-starts.
+        """
+        shards = int(config["shards"])
+        for generation in self.generations():
+            try:
+                manifest = self.load_manifest(generation, config)
+            except CheckpointError:
+                continue
+            return RestorePlan(
+                generation=generation,
+                manifest=manifest,
+                shards=tuple(
+                    self.restore_shard(shard, config, generation)
+                    for shard in range(shards)
+                ),
+            )
+        return None

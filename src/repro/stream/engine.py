@@ -120,6 +120,56 @@ class StreamResult:
     last_seen: dict[Endpoint, float] = field(default_factory=dict)
 
 
+def finalize_result(
+    config: StreamConfig,
+    dataset,
+    states: list[ShardState],
+    watermarks: list[Watermark],
+    records_read: int,
+    records_delivered: int,
+    checkpoints_written: int,
+    resumed: bool,
+) -> StreamResult:
+    """Merge drained shard states and render the final report.
+
+    The single funnel every streaming front-end finishes through --
+    the threaded engine and the process fabric both call this, so
+    "byte-identical to batch" is one code path, not a convention.
+    """
+    merged = merge_shards(
+        states,
+        PassiveServiceTable(
+            is_campus=dataset.is_campus,
+            tcp_ports=dataset.tcp_ports,
+            udp_ports=dataset.udp_ports,
+        ),
+    )
+    active_addresses = {
+        address for address, _ in union_open_endpoints(dataset.scan_reports)
+    }
+    if dataset.udp_report is not None:
+        active_addresses |= {
+            address for address, _ in dataset.udp_report.open_endpoints()
+        }
+    summary = summarize_overlap(merged.server_addresses(), active_addresses)
+    report = survey_table(
+        config.dataset, config.scale, config.seed,
+        records_delivered, len(dataset.scan_reports), summary,
+    ).render()
+    return StreamResult(
+        finished=True,
+        records_read=records_read,
+        records_delivered=records_delivered,
+        checkpoints_written=checkpoints_written,
+        resumed=resumed,
+        watermarks=watermarks,
+        summary=summary,
+        report=report,
+        table=merged,
+        last_seen=merged_last_seen(states),
+    )
+
+
 def _batched(
     stream: Iterator[PacketRecord], size: int
 ) -> Iterator[list[PacketRecord]]:
@@ -515,33 +565,12 @@ class StreamEngine:
             if progress is not None:
                 progress(watermark)
 
-        merged = merge_shards(states, fresh_table())
-        active_addresses = {
-            address for address, _ in union_open_endpoints(dataset.scan_reports)
-        }
-        if dataset.udp_report is not None:
-            active_addresses |= {
-                address for address, _ in dataset.udp_report.open_endpoints()
-            }
-        summary = summarize_overlap(merged.server_addresses(), active_addresses)
-        report = survey_table(
-            config.dataset, config.scale, config.seed,
-            records_delivered, len(dataset.scan_reports), summary,
-        ).render()
         if ckpt_path is not None and ckpt_path.exists():
             # Clean finish: a stale checkpoint must not hijack the next run.
             ckpt_path.unlink()
-        return StreamResult(
-            finished=True,
-            records_read=records_read,
-            records_delivered=records_delivered,
-            checkpoints_written=checkpoints_written,
-            resumed=resumed,
-            watermarks=watermarks,
-            summary=summary,
-            report=report,
-            table=merged,
-            last_seen=merged_last_seen(states),
+        return finalize_result(
+            config, dataset, states, watermarks,
+            records_read, records_delivered, checkpoints_written, resumed,
         )
 
 

@@ -33,6 +33,14 @@ from repro.stream.shard import ShardState
 #: ``shards * 8 * 8192`` regardless of how long the stream runs.
 DEFAULT_MAX_QUEUE_CHUNKS = 8
 
+#: How long one ``put`` attempt waits before re-checking worker health.
+DEFAULT_PUT_TIMEOUT = 0.05
+
+#: Total time a single enqueue may stay blocked before the producer
+#: gives up and raises :class:`IngestStallError` instead of deadlocking
+#: on a queue nobody will ever drain.
+DEFAULT_STALL_TIMEOUT = 60.0
+
 _STOP = object()
 
 
@@ -43,6 +51,25 @@ class ShardWorkerError(RuntimeError):
         super().__init__(f"shard {index} worker failed: {error!r}")
         self.index = index
         self.error = error
+
+
+class IngestStallError(RuntimeError):
+    """A shard queue stayed full past the stall budget.
+
+    Raised by the producer when bounded ``put`` retries exhaust
+    ``stall_timeout`` seconds without the consumer making room -- the
+    structured alternative to blocking forever on a queue whose worker
+    has died or wedged.
+    """
+
+    def __init__(self, index: int, waited: float, timeouts: int) -> None:
+        super().__init__(
+            f"shard {index} queue stayed full for {waited:.1f}s "
+            f"({timeouts} put timeouts): consumer dead or stalled"
+        )
+        self.index = index
+        self.waited = waited
+        self.timeouts = timeouts
 
 
 class StreamIngestor:
@@ -61,12 +88,19 @@ class StreamIngestor:
         self,
         states: list[ShardState],
         max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS,
+        put_timeout: float = DEFAULT_PUT_TIMEOUT,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT,
     ) -> None:
         if not states:
             raise ValueError("at least one shard is required")
         if max_queue_chunks < 1:
             raise ValueError("max_queue_chunks must be >= 1")
+        if put_timeout <= 0 or stall_timeout <= 0:
+            raise ValueError("put_timeout and stall_timeout must be > 0")
         self.states = states
+        self.put_timeout = put_timeout
+        self.stall_timeout = stall_timeout
+        self.put_timeouts = 0
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=max_queue_chunks) for _ in states
         ]
@@ -123,14 +157,40 @@ class StreamIngestor:
         if self._errors:
             raise self._errors[0]
 
+    def _put_bounded(self, index: int, part) -> None:
+        """Enqueue with timeout + bounded retries instead of blocking forever.
+
+        Each timeout re-checks worker health (a dead worker's pending
+        error surfaces immediately rather than after a deadlock) and
+        counts toward the stall budget; exhausting the budget raises
+        :class:`IngestStallError` naming the wedged shard.
+        """
+        waited = 0.0
+        timeouts = 0
+        while True:
+            try:
+                self._queues[index].put(part, timeout=self.put_timeout)
+                return
+            except queue.Full:
+                timeouts += 1
+                self.put_timeouts += 1
+                waited += self.put_timeout
+                self._raise_pending()
+                if waited >= self.stall_timeout:
+                    raise IngestStallError(index, waited, timeouts) from None
+
     def dispatch(self, parts: list) -> None:
-        """Enqueue one routed batch (blocks when a shard queue is full).
+        """Enqueue one routed batch (backpressure-blocks, never deadlocks).
 
         Each part is either a ``list[PacketRecord]`` sub-batch from
         :func:`repro.stream.shard.split_batch` or a
         :class:`repro.trace.columnar.RecordColumns` sub-batch from
         :func:`repro.stream.shard.split_columns`; workers dispatch on
         the type, so the two can even be mixed within one run.
+
+        A full shard queue applies backpressure through the bounded
+        retry loop in :meth:`_put_bounded`; a queue that stays full for
+        ``stall_timeout`` seconds raises :class:`IngestStallError`.
         """
         if self._closed:
             raise RuntimeError("ingestor already closed")
@@ -143,7 +203,12 @@ class StreamIngestor:
                 in_flight = sum(self._queued_records)
                 if in_flight > self.max_queued_records:
                     self.max_queued_records = in_flight
-            self._queues[index].put(part)
+            try:
+                self._put_bounded(index, part)
+            except BaseException:
+                with self._queued_lock:
+                    self._queued_records[index] -= len(part)
+                raise
         self.batches_dispatched += 1
 
     def drain(self) -> None:
@@ -173,6 +238,10 @@ class StreamIngestor:
             "repro_stream_batches_total",
             "Routed batches dispatched to shard workers.",
         ).inc(self.batches_dispatched)
+        registry.counter(
+            "repro_stream_backpressure_timeouts_total",
+            "Bounded-put timeouts while shard queues were full.",
+        ).inc(self.put_timeouts)
         for index in range(self.shards):
             registry.counter(
                 "repro_stream_shard_records_total",

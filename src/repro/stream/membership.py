@@ -1,0 +1,137 @@
+"""In-process membership and liveness tracking for fabric workers.
+
+The fabric's supervisor is the single coordinator, so membership is a
+bookkeeping table rather than a gossip protocol: each shard slot holds
+the **incarnation** currently expected to serve it, when that
+incarnation was launched, whether it completed the join handshake, and
+when it last heartbeat.  Workers include their incarnation number on
+every message; the table's :meth:`Membership.is_current` check lets the
+supervisor discard stale traffic from a prior incarnation that lingered
+in a queue after its process was declared dead.
+
+Liveness is pull-based from the supervisor's side: workers beat every
+``heartbeat_interval`` seconds on their own wall clock, and
+:meth:`Membership.overdue` declares a member dead once its heartbeat
+age exceeds ``miss_budget`` intervals (or, before the join handshake
+completes, once ``join_timeout`` passes -- a worker that never joins is
+as dead as one that stops beating).  All decisions take ``now`` as an
+argument so tests drive the clock explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Member:
+    """One shard slot's current incarnation and its liveness evidence."""
+
+    shard: int
+    incarnation: int = -1
+    pid: int | None = None
+    launched_at: float = 0.0
+    joined_at: float | None = None
+    last_heartbeat: float | None = None
+    restarts: int = 0
+    heartbeats: int = 0
+
+    @property
+    def joined(self) -> bool:
+        return self.joined_at is not None
+
+
+@dataclass
+class Membership:
+    """The supervisor's view of which worker serves each shard.
+
+    ``heartbeat_interval`` is the cadence workers are told to beat at;
+    ``miss_budget`` is how many consecutive intervals may elapse without
+    a beat before :meth:`overdue` declares the member dead.
+    """
+
+    shards: int
+    heartbeat_interval: float
+    miss_budget: int
+    join_timeout: float
+    members: dict[int, Member] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for shard in range(self.shards):
+            self.members.setdefault(shard, Member(shard=shard))
+
+    # ---- lifecycle ----------------------------------------------------
+
+    def launch(self, shard: int, now: float, pid: int | None = None) -> int:
+        """Record a (re)launch of *shard*; returns the new incarnation.
+
+        Resets the join/heartbeat evidence -- the new process has not
+        proven liveness yet -- while preserving the restart counter.
+        """
+        member = self.members[shard]
+        member.incarnation += 1
+        member.pid = pid
+        member.launched_at = now
+        member.joined_at = None
+        member.last_heartbeat = None
+        return member.incarnation
+
+    def join(self, shard: int, incarnation: int, now: float,
+             pid: int | None = None) -> bool:
+        """Complete the registration handshake; False when stale."""
+        member = self.members[shard]
+        if incarnation != member.incarnation:
+            return False
+        member.joined_at = now
+        member.last_heartbeat = now
+        if pid is not None:
+            member.pid = pid
+        return True
+
+    def heartbeat(self, shard: int, incarnation: int, now: float) -> bool:
+        """Record a heartbeat; False (ignored) when from a stale incarnation."""
+        member = self.members[shard]
+        if incarnation != member.incarnation or not member.joined:
+            return False
+        member.last_heartbeat = now
+        member.heartbeats += 1
+        return True
+
+    def note_restart(self, shard: int) -> int:
+        """Count a restart decision; returns the total for the shard."""
+        member = self.members[shard]
+        member.restarts += 1
+        return member.restarts
+
+    # ---- queries ------------------------------------------------------
+
+    def is_current(self, shard: int, incarnation: int) -> bool:
+        return self.members[shard].incarnation == incarnation
+
+    def restarts(self, shard: int) -> int:
+        return self.members[shard].restarts
+
+    def heartbeat_age(self, shard: int, now: float) -> float:
+        """Seconds since the member last proved liveness.
+
+        Before the join completes this measures from launch, so a
+        worker stuck in startup accrues age like a silent one.
+        """
+        member = self.members[shard]
+        basis = member.last_heartbeat
+        if basis is None:
+            basis = member.launched_at
+        return max(0.0, now - basis)
+
+    def overdue(self, shard: int, now: float) -> bool:
+        """True when the member must be declared dead and reassigned."""
+        member = self.members[shard]
+        if member.incarnation < 0:
+            return False  # never launched
+        if not member.joined:
+            return now - member.launched_at > self.join_timeout
+        assert member.last_heartbeat is not None
+        return now - member.last_heartbeat > self.miss_budget * self.heartbeat_interval
+
+    def overdue_shards(self, now: float) -> list[int]:
+        return [s for s in range(self.shards) if self.overdue(s, now)]
