@@ -3,9 +3,10 @@
 
 Runs ``record_bench.py`` fresh (same dataset/scale/seed the committed
 ``BENCH_baseline.json`` was recorded under, unless overridden) and
-compares every ``records_per_sec`` figure -- scalar and columnar
-replay, scalar and columnar streaming ingest, and the process fabric
-(``stream_fabric``) -- against the baseline.
+compares every throughput figure -- scalar and columnar replay,
+scalar and columnar streaming ingest, the process fabric
+(``stream_fabric``), and the live query service's ``queries_per_sec``
+(``query_service``) -- against the baseline.
 The check fails when any figure drops below
 ``baseline * (1 - tolerance)``; improvements and small wobbles pass
 silently.  On top of the baseline comparison, the columnar rows are
@@ -46,6 +47,7 @@ GATED = (
     ("stream", "records_per_sec"),
     ("stream_columnar", "records_per_sec"),
     ("stream_fabric", "records_per_sec"),
+    ("query_service", "queries_per_sec"),
 )
 
 #: (columnar section, scalar section, minimum ratio) ratchets: the
@@ -122,8 +124,9 @@ def main(argv: list[str] | None = None) -> int:
         floor = base_value * (1.0 - args.tolerance)
         delta_pct = 100.0 * (fresh_value - base_value) / base_value
         verdict = "ok" if fresh_value >= floor else "FAIL"
-        print(f"{section}.{metric}: baseline {base_value:,.0f} rec/s, "
-              f"fresh {fresh_value:,.0f} rec/s ({delta_pct:+.1f}%) "
+        unit = "q/s" if metric == "queries_per_sec" else "rec/s"
+        print(f"{section}.{metric}: baseline {base_value:,.0f} {unit}, "
+              f"fresh {fresh_value:,.0f} {unit} ({delta_pct:+.1f}%) "
               f"[floor {floor:,.0f}] {verdict}")
         if fresh_value < floor:
             failures.append(

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the live query service.
+#
+# Starts `python -m repro serve` on an ephemeral port, waits for it to
+# announce its address, queries every endpoint with curl while ingest
+# runs (or after it finishes -- the service answers throughout), and
+# asserts:
+#
+#   1. /healthz reports ok and eventually `"ingest": "finished"`;
+#   2. /services returns discovered rows with the documented shape;
+#   3. /host/{addr} and /liveness/{addr} agree with the listing;
+#   4. /watermarks carries ordered overlap summaries;
+#   5. /metricsz exposes the per-endpoint request counters;
+#   6. SIGTERM shuts the server down cleanly (exit code 0).
+#
+# Usage: scripts/query_smoke.sh [scale] [shards]
+set -euo pipefail
+
+SCALE="${1:-0.05}"
+SHARDS="${2:-2}"
+
+WORKDIR="$(mktemp -d)"
+export PYTHONPATH="${PYTHONPATH:-src}"
+export REPRO_TRACE_CACHE="${REPRO_TRACE_CACHE:-$WORKDIR/trace-cache}"
+
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== start serve on an ephemeral port =="
+python -m repro serve DTCP1-18d \
+    --scale "$SCALE" --seed 11 --shards "$SHARDS" --port 0 \
+    --snapshot-every 6 --outage-fraction 0.02 --fault-seed 5 \
+    2>"$WORKDIR/serve.log" &
+SERVE_PID=$!
+
+URL=""
+for _ in $(seq 1 600); do
+    URL="$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$WORKDIR/serve.log" | head -n1)"
+    [ -n "$URL" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$URL" ]; then
+    echo "FAIL: serve never announced its address" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+echo "serving at $URL"
+
+echo "== /healthz: wait for ingest to finish =="
+for _ in $(seq 1 600); do
+    curl -sf "$URL/healthz" >"$WORKDIR/health.json" || true
+    if jq -e '.ok == true and .ingest == "finished"' \
+        "$WORKDIR/health.json" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+jq -e '.ok == true and .ingest == "finished" and .records > 0
+       and .endpoints > 0' "$WORKDIR/health.json" >/dev/null || {
+    echo "FAIL: /healthz never reached a finished, healthy state" >&2
+    cat "$WORKDIR/health.json" >&2
+    exit 1
+}
+
+echo "== /services: listing shape =="
+curl -sf "$URL/services?proto=tcp&limit=10" >"$WORKDIR/services.json"
+jq -e '.snapshot.version >= 1 and (.services | length) > 0
+       and (.services[0] | keys | sort) ==
+           ["address", "clients", "evidence", "first_seen",
+            "flows", "last_seen", "port", "proto"]' \
+    "$WORKDIR/services.json" >/dev/null || {
+    echo "FAIL: /services rows have the wrong shape" >&2
+    cat "$WORKDIR/services.json" >&2
+    exit 1
+}
+ADDR="$(jq -r '.services[0].address' "$WORKDIR/services.json")"
+
+echo "== /host/$ADDR and /liveness/$ADDR =="
+curl -sf "$URL/host/$ADDR" | jq -e --arg addr "$ADDR" \
+    '.address == $addr and (.services | length) > 0' >/dev/null || {
+    echo "FAIL: /host/$ADDR did not list the discovered services" >&2
+    exit 1
+}
+curl -sf "$URL/liveness/$ADDR" | jq -e \
+    '.verdict | IN("alive", "stale", "likely-down")' >/dev/null || {
+    echo "FAIL: /liveness/$ADDR returned no usable verdict" >&2
+    exit 1
+}
+
+echo "== /watermarks: ordered overlap summaries =="
+curl -sf "$URL/watermarks" | jq -e \
+    '(.watermarks | length) > 0
+     and ([.watermarks[].time] | . == sort)
+     and (.watermarks[0] | keys | sort) ==
+         ["active_only", "both", "passive_only", "records",
+          "time", "union"]' >/dev/null || {
+    echo "FAIL: /watermarks shape or ordering is wrong" >&2
+    exit 1
+}
+
+echo "== error handling: bad requests stay 4xx JSON =="
+test "$(curl -s -o /dev/null -w '%{http_code}' "$URL/host/not.an.addr")" = 400
+test "$(curl -s -o /dev/null -w '%{http_code}' "$URL/nope")" = 404
+
+echo "== /metricsz: per-endpoint counters =="
+curl -sf "$URL/metricsz" >"$WORKDIR/metrics.txt"
+grep -q 'repro_query_requests_total{.*endpoint="services"' "$WORKDIR/metrics.txt" || {
+    echo "FAIL: /metricsz is missing the request counters" >&2
+    cat "$WORKDIR/metrics.txt" >&2
+    exit 1
+}
+grep -q 'repro_stream_snapshots_total' "$WORKDIR/metrics.txt" || {
+    echo "FAIL: /metricsz is missing the snapshot counter" >&2
+    exit 1
+}
+
+echo "== SIGTERM: clean shutdown =="
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: serve exited $STATUS after SIGTERM" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+grep -q "serve: shutdown" "$WORKDIR/serve.log" || {
+    echo "FAIL: serve never logged its shutdown line" >&2
+    exit 1
+}
+echo "PASS: query service answered every endpoint and shut down cleanly"

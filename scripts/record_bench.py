@@ -16,7 +16,7 @@ row (the sharded pipeline of :mod:`repro.stream` over the same cached
 trace), so stream-engine regressions gate the same way replay
 regressions do (``scripts/check_bench.py``).
 
-Five throughput rows are recorded.  ``replay`` is the *scalar v1
+Six throughput rows are recorded.  ``replay`` is the *scalar v1
 path*: the cached (v2) trace is converted to a temporary v1 file and
 replayed through the per-record decoder, so the row keeps measuring
 what it always measured; ``stream`` runs the engine with its columnar
@@ -26,7 +26,12 @@ zero-copy path; ``check_bench.py`` ratchets the columnar rows to stay
 at least 5x their scalar counterparts.  ``stream_fabric`` runs the
 same stream through the supervised worker-*process* fabric
 (``--fabric-workers``, default 4), gating the multiprocessing path's
-throughput alongside the in-process ones.
+throughput alongside the in-process ones.  ``query_service`` measures
+the live query service: ``--query-clients`` concurrent asyncio
+clients issue ``--query-requests`` mixed HTTP queries against a
+:class:`repro.query.QueryService` while the streaming engine ingests
+the same trace and publishes snapshots, recording ``queries_per_sec``
+under concurrent read load.
 
 Usage::
 
@@ -118,6 +123,85 @@ def timed_fabric_pass(args, dataset, workers: int) -> tuple[int, float]:
     return result.records_read, time.perf_counter() - started
 
 
+def timed_query_pass(
+    args, dataset, clients: int, requests: int
+) -> tuple[int, float]:
+    """Concurrent HTTP query throughput while streaming ingest runs.
+
+    Starts a :class:`~repro.query.QueryService` over a
+    :class:`~repro.query.QueryState`, runs the streaming engine in a
+    background thread publishing snapshots into it, and drives
+    *clients* keep-alive asyncio clients through a fixed mix of
+    queries (listings, host lookups, liveness, watermarks, health).
+    The timed window covers only the query loop.
+    """
+    import asyncio
+    import threading
+
+    from repro.query import ActiveView, QueryClient, QueryService, QueryState
+    from repro.simkernel.clock import hours
+    from repro.stream import StreamConfig, StreamEngine
+
+    engine = StreamEngine(
+        StreamConfig(
+            dataset=args.dataset, seed=args.seed, scale=args.scale,
+            shards=args.stream_shards, snapshot_every=hours(6),
+        ),
+        dataset=dataset,
+    )
+    state = QueryState(ActiveView.from_dataset(dataset))
+    ingest = threading.Thread(
+        target=engine.run, kwargs={"publisher": state}, daemon=True
+    )
+    listing_targets = (
+        "/services?proto=tcp&since=48h&limit=100",
+        "/services?limit=25",
+        "/watermarks",
+        "/healthz",
+    )
+
+    async def client_task(index: int, service, per_client: int) -> int:
+        client = QueryClient("127.0.0.1", service.port)
+        addresses = ["128.125.0.1"]
+        completed = 0
+        try:
+            for n in range(per_client):
+                kind = (index + n) % 6
+                if kind < 4:
+                    target = listing_targets[kind]
+                elif kind == 4:
+                    target = f"/host/{addresses[n % len(addresses)]}"
+                else:
+                    target = f"/liveness/{addresses[n % len(addresses)]}"
+                status, body = await client.get(target)
+                assert status < 500, (status, target, body)
+                rows = body.get("services") if isinstance(body, dict) else None
+                if isinstance(rows, list) and rows:
+                    addresses = [row["address"] for row in rows]
+                completed += 1
+        finally:
+            await client.close()
+        return completed
+
+    async def run() -> tuple[int, float]:
+        service = QueryService(state, port=0)
+        await service.start()
+        ingest.start()
+        per_client = max(1, requests // clients)
+        started = time.perf_counter()
+        counts = await asyncio.gather(
+            *(client_task(index, service, per_client)
+              for index in range(clients))
+        )
+        elapsed = time.perf_counter() - started
+        await service.close()
+        return sum(counts), elapsed
+
+    total, elapsed = asyncio.run(run())
+    ingest.join()
+    return total, elapsed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dataset", default="DTCPall")
@@ -128,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="shard count for the streaming-ingest row")
     parser.add_argument("--fabric-workers", type=int, default=4,
                         help="worker-process count for the fabric row")
+    parser.add_argument("--query-clients", type=int, default=8,
+                        help="concurrent clients for the query-service row")
+    parser.add_argument("--query-requests", type=int, default=2000,
+                        help="total HTTP queries per query-service pass")
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_baseline.json")
     )
@@ -182,6 +270,12 @@ def main(argv: list[str] | None = None) -> int:
             timed_fabric_pass(args, dataset, args.fabric_workers)
             for _ in range(args.repeats)
         ]
+        queried = [
+            timed_query_pass(
+                args, dataset, args.query_clients, args.query_requests
+            )
+            for _ in range(args.repeats)
+        ]
         v1_bytes = v1_path.stat().st_size
 
     records = disabled[0][0]
@@ -196,6 +290,9 @@ def main(argv: list[str] | None = None) -> int:
     best_stream = min(seconds for _, seconds in streamed)
     best_stream_columnar = min(seconds for _, seconds in stream_columnar)
     best_fabric = min(seconds for _, seconds in fabric)
+    query_total = queried[0][0]
+    assert all(count == query_total for count, _ in queried)
+    best_query = min(seconds for _, seconds in queried)
     best_disabled = min(seconds for _, seconds in disabled)
     best_enabled = min(seconds for _, seconds in enabled)
     best_columnar = min(seconds for _, seconds in columnar)
@@ -249,6 +346,12 @@ def main(argv: list[str] | None = None) -> int:
             "best_seconds": round(best_fabric, 4),
             "records_per_sec": round(stream_records / best_fabric, 1),
         },
+        "query_service": {
+            "queries": query_total,
+            "clients": args.query_clients,
+            "best_seconds": round(best_query, 4),
+            "queries_per_sec": round(query_total / best_query, 1),
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n",
@@ -264,7 +367,9 @@ def main(argv: list[str] | None = None) -> int:
           f"({args.stream_shards} shards, "
           f"{baseline['stream_columnar']['speedup_vs_scalar']:.1f}x), "
           f"fabric {baseline['stream_fabric']['records_per_sec']:,.0f} rec/s "
-          f"({args.fabric_workers} workers)")
+          f"({args.fabric_workers} workers), "
+          f"query {baseline['query_service']['queries_per_sec']:,.0f} q/s "
+          f"({args.query_clients} clients)")
     return 0
 
 

@@ -11,6 +11,14 @@ Operational entry points over the library:
     Run the online streaming discovery engine: sharded ingestion with
     periodic completeness watermarks, checkpoint/resume, and a final
     report byte-identical to ``survey`` on the same configuration.
+``serve DATASET``
+    Run streaming ingest under a live HTTP/JSON query service:
+    ``GET /host/{addr}``, ``/services``, ``/liveness/{addr}``,
+    ``/watermarks``, ``/healthz``, ``/metricsz`` answer from immutable
+    published snapshots while ingest continues.
+``checkpoint prune DIR``
+    Drop old checkpoint generations from a fabric checkpoint store,
+    keeping the newest ``--keep N``.
 ``record DATASET OUT``
     Record a dataset's border traffic to a binary trace file
     (columnar v2 by default; ``--format 1`` for the row format),
@@ -282,6 +290,85 @@ def cmd_stream(args: argparse.Namespace) -> int:
             "telemetry: wrote " + ", ".join(str(path) for path in written),
             file=sys.stderr,
         )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.query.serve import run_serve
+    from repro.simkernel.clock import hours
+    from repro.stream import StreamConfig
+
+    plan = None
+    if args.loss_rate or args.burst_loss_rate or args.outage_fraction:
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            capture_loss_rate=args.loss_rate,
+            burst_loss_rate=args.burst_loss_rate,
+            outage_fraction=args.outage_fraction,
+            outage_count=args.outage_count,
+        )
+    fabric_mode = bool(args.fabric or args.workers is not None)
+    shards = args.workers if args.workers is not None else args.shards
+    config = StreamConfig(
+        dataset=args.dataset,
+        seed=args.seed,
+        scale=args.scale,
+        shards=shards,
+        batch_records=args.batch_records,
+        emit_every=hours(args.emit_every) if args.emit_every else None,
+        checkpoint_every=(
+            hours(args.checkpoint_every) if args.checkpoint_every else None
+        ),
+        checkpoint_path=args.checkpoint,
+        snapshot_every=hours(args.snapshot_every),
+        faults=plan,
+    )
+    fabric_config = None
+    if fabric_mode:
+        from repro.stream import FabricConfig
+
+        fabric_config = FabricConfig(
+            heartbeat_interval=args.heartbeat_interval,
+            miss_budget=args.miss_budget,
+            max_restarts=args.max_restarts,
+        )
+    return run_serve(
+        config,
+        host=args.host,
+        port=args.port,
+        fabric=fabric_config,
+        telemetry_dir=getattr(args, "telemetry", None),
+    )
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.stream import ShardCheckpointStore
+
+    if args.checkpoint_command != "prune":  # pragma: no cover - argparse gates
+        raise SystemExit(f"unknown checkpoint command {args.checkpoint_command!r}")
+    root = Path(args.directory)
+    if not root.is_dir():
+        print(f"checkpoint store {root} does not exist", file=sys.stderr)
+        return 1
+    store = ShardCheckpointStore(root, keep_generations=args.keep)
+    generations = store.generations()
+    if not generations:
+        print(f"no committed generations under {root}; nothing to prune")
+        return 0
+    before = {entry.name for entry in root.iterdir()}
+    store.prune(generations[0])
+    removed = sorted(before - {entry.name for entry in root.iterdir()})
+    kept = store.generations()
+    print(
+        f"kept {len(kept)} generation(s) (newest {kept[0]}), "
+        f"removed {len(removed)} file(s)"
+    )
+    for name in removed:
+        print(f"  removed {name}")
     return 0
 
 
@@ -729,6 +816,72 @@ def build_parser() -> argparse.ArgumentParser:
              "Prometheus text and JSONL into DIR",
     )
 
+    serve = commands.add_parser(
+        "serve", help="serve live discovery state over HTTP while ingesting"
+    )
+    serve.add_argument("dataset")
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks an ephemeral port, "
+                            "announced on stderr)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="partition ingest across N shard workers")
+    serve.add_argument(
+        "--fabric", action="store_true",
+        help="run shards as supervised worker processes (the "
+             "distributed fabric) instead of in-process threads",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker process count for the fabric (implies --fabric; "
+             "overrides --shards)",
+    )
+    serve.add_argument("--heartbeat-interval", type=float, default=0.25,
+                       metavar="SECONDS")
+    serve.add_argument("--miss-budget", type=int, default=8)
+    serve.add_argument("--max-restarts", type=int, default=3)
+    serve.add_argument(
+        "--snapshot-every", type=float, default=1.0, metavar="H",
+        help="publish a query snapshot every H sim-hours (default 1.0)",
+    )
+    serve.add_argument(
+        "--emit-every", type=float, default=None, metavar="H",
+        help="emit a windowed-completeness watermark every H sim-hours",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="H",
+        help="write an atomic state checkpoint every H sim-hours",
+    )
+    serve.add_argument("--checkpoint", default=None, metavar="PATH")
+    serve.add_argument("--batch-records", type=int, default=8192)
+    serve.add_argument("--loss-rate", type=float, default=0.0,
+                       help="i.i.d. capture loss rate")
+    serve.add_argument("--burst-loss-rate", type=float, default=0.0)
+    serve.add_argument("--outage-fraction", type=float, default=0.0)
+    serve.add_argument("--outage-count", type=int, default=1)
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="export collected metrics into DIR on shutdown",
+    )
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="checkpoint-store utilities"
+    )
+    checkpoint_commands = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    prune = checkpoint_commands.add_parser(
+        "prune",
+        help="drop generations older than the newest --keep N from a "
+             "fabric checkpoint store",
+    )
+    prune.add_argument("directory")
+    prune.add_argument("--keep", type=int, default=2, metavar="N",
+                       help="committed generations to retain (default 2)")
+
     record = commands.add_parser("record", help="record a border trace")
     record.add_argument("dataset")
     record.add_argument("out")
@@ -803,6 +956,8 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": cmd_datasets,
         "survey": cmd_survey,
         "stream": cmd_stream,
+        "serve": cmd_serve,
+        "checkpoint": cmd_checkpoint,
         "record": cmd_record,
         "trace-stats": cmd_trace_stats,
         "trace": cmd_trace,

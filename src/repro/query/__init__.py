@@ -1,0 +1,49 @@
+"""Live discovery query service: HTTP/JSON over streaming shard state.
+
+Every other front-end in this repo terminates in a rendered report;
+this package serves the *current* discovery state while capture is
+still running.  The pieces:
+
+* :mod:`.snapshot` -- immutable, versioned
+  :class:`~repro.query.snapshot.DiscoverySnapshot` structures.  Shards
+  publish copy-on-publish snapshots at ``--snapshot-every`` boundaries;
+  the final batch merge goes through the *same* structures, so a query
+  response and the rendered report can never disagree.
+* :mod:`.state` -- :class:`~repro.query.state.QueryState`, the
+  lock-light hand-off between the ingest thread and the asyncio read
+  path: publication swaps one reference, reads never block ingest.
+* :mod:`.liveness` -- "Lost in Space"-style liveness inference
+  combining passive recency with active scan coverage.
+* :mod:`.http` -- the asyncio HTTP/1.1 server (stdlib only) and a
+  small keep-alive client used by tests and benchmarks.
+* :mod:`.serve` -- glue running ingest (threaded engine or process
+  fabric) under the service; ``python -m repro serve``.
+
+Endpoints: ``GET /host/{addr}``, ``GET /services``,
+``GET /liveness/{addr}``, ``GET /watermarks``, ``GET /healthz``,
+``GET /metricsz``.
+"""
+
+from repro.query.http import QueryClient, QueryService, handle_request
+from repro.query.liveness import ActiveView, DEFAULT_HORIZON, infer_liveness
+from repro.query.snapshot import (
+    DiscoverySnapshot,
+    merge_snapshot_payloads,
+    shard_snapshot_payload,
+    snapshot_states,
+)
+from repro.query.state import QueryState
+
+__all__ = [
+    "ActiveView",
+    "DEFAULT_HORIZON",
+    "DiscoverySnapshot",
+    "QueryClient",
+    "QueryService",
+    "QueryState",
+    "handle_request",
+    "infer_liveness",
+    "merge_snapshot_payloads",
+    "shard_snapshot_payload",
+    "snapshot_states",
+]

@@ -1,0 +1,156 @@
+"""Run ingest and the query service together: ``python -m repro serve``.
+
+The glue layer: one ingest thread drives the streaming engine (or the
+fabric supervisor) with a snapshot publisher, while the main thread
+runs the asyncio server.  The two meet only at
+:class:`~repro.query.state.QueryState` -- ingest publishes immutable
+snapshots, request handlers read them -- so neither side ever waits on
+the other.
+
+Lifecycle: the service starts answering immediately (version-0 empty
+snapshot), announces ``serving on http://host:port`` on stderr (the
+smoke script parses this), keeps serving after ingest completes (the
+final snapshot is the complete state), and shuts down cleanly on
+SIGTERM/SIGINT: stop is signalled to ingest at its next publish
+boundary (where the engine drains and checkpoints if configured), the
+listener closes, and the process exits 0 -- or 1 when ingest failed.
+
+This module is imported lazily by the CLI only: it pulls in
+:mod:`repro.stream`, which itself uses :mod:`repro.query.snapshot`, so
+importing it from ``repro.query.__init__`` would be a cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+
+from repro.query.http import QueryService
+from repro.query.liveness import ActiveView
+from repro.query.state import QueryState
+
+
+class _StoppablePublisher:
+    """Forward snapshots; interrupt ingest once shutdown is requested.
+
+    Publish boundaries are the engine's drain points, so raising
+    ``KeyboardInterrupt`` there triggers its graceful-interrupt path
+    (drain, checkpoint when configured, unwind) without any new stop
+    machinery in the engines.
+    """
+
+    def __init__(self, state: QueryState, stop: threading.Event):
+        self._state = state
+        self._stop = stop
+
+    def publish(self, snapshot) -> None:
+        self._state.publish(snapshot)
+        if self._stop.is_set():
+            raise KeyboardInterrupt
+
+
+def run_serve(
+    config,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    fabric=None,
+    dataset=None,
+    telemetry_dir: str | None = None,
+) -> int:
+    """Serve *config*'s stream; blocks until SIGTERM/SIGINT.
+
+    *fabric* (a :class:`repro.stream.FabricConfig`) selects the process
+    fabric; ``None`` runs the in-process threaded engine.  Returns the
+    process exit code.
+    """
+    from repro.telemetry import enable
+
+    enable()  # /metricsz needs a live registry even without --telemetry
+    from repro.stream import StreamEngine
+
+    if fabric is not None:
+        from repro.stream import FabricSupervisor
+
+        supervisor = FabricSupervisor(config, fabric, dataset)
+        engine = supervisor.engine
+    else:
+        supervisor = None
+        engine = StreamEngine(config, dataset)
+    state = QueryState(ActiveView.from_dataset(engine.dataset))
+    stop = threading.Event()
+    publisher = _StoppablePublisher(state, stop)
+
+    def ingest() -> None:
+        try:
+            if supervisor is not None:
+                supervisor.run(
+                    publisher=publisher,
+                    on_event=lambda line: print(line, file=sys.stderr),
+                )
+            else:
+                engine.run(publisher=publisher)
+        except KeyboardInterrupt:
+            state.mark_finished()  # stopped at a publish boundary: clean
+        except BaseException as exc:  # noqa: BLE001 - surfaced via /healthz
+            state.mark_failed(repr(exc))
+            print(f"serve: ingest failed: {exc!r}", file=sys.stderr)
+        else:
+            state.mark_finished()
+
+    code = asyncio.run(_serve_until_signalled(state, ingest, stop, host, port))
+    if telemetry_dir:
+        from repro.telemetry import RunManifest, registry, write_exports
+
+        manifest = RunManifest.collect(
+            command="serve",
+            dataset=config.dataset,
+            seed=config.seed,
+            scale=config.scale,
+            faults=getattr(config, "faults", None),
+        )
+        written = write_exports(telemetry_dir, registry(), manifest)
+        print(
+            "telemetry: wrote " + ", ".join(str(path) for path in written),
+            file=sys.stderr,
+        )
+    return code
+
+
+async def _serve_until_signalled(
+    state: QueryState,
+    ingest,
+    stop: threading.Event,
+    host: str,
+    port: int,
+) -> int:
+    service = QueryService(state, host=host, port=port)
+    await service.start()
+    print(f"serving on http://{host}:{service.port}", file=sys.stderr, flush=True)
+    loop = asyncio.get_running_loop()
+    signalled = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, signalled.set)
+    thread = threading.Thread(target=ingest, name="repro-serve-ingest", daemon=True)
+    thread.start()
+    try:
+        await signalled.wait()
+    finally:
+        stop.set()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.remove_signal_handler(signum)
+        await service.close()
+    # A bounded join: ingest unwinds at its next publish boundary; if no
+    # boundary remains (stream already ended, or none scheduled) the
+    # daemon thread dies with the process.
+    await loop.run_in_executor(None, thread.join, 5.0)
+    health = state.health()
+    print(
+        f"serve: shutdown (ingest {health['ingest']}, "
+        f"snapshot v{health['snapshot_version']}, "
+        f"{health['endpoints']} endpoints)",
+        file=sys.stderr,
+    )
+    return 1 if health["ingest"] == "failed" else 0

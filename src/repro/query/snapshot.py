@@ -1,0 +1,235 @@
+"""Immutable, versioned snapshots of merged discovery state.
+
+The query service must answer from shard state *while ingest keeps
+mutating it*.  Rather than locking the shard tables (stalling ingest)
+or reading them live (tearing responses), shards publish
+**copy-on-publish snapshots**: at each snapshot boundary the engine
+drains its queues -- so the state is a consistent stream prefix -- and
+copies every per-endpoint map into one :class:`DiscoverySnapshot`.
+Publication swaps a single reference (:mod:`repro.query.state`), after
+which the snapshot is never mutated; any number of concurrent readers
+answer from it without coordination, and ingest resumes untouched.
+
+The same structures are the *final* merge: ``finalize_result`` in
+:mod:`repro.stream.engine` builds its completeness summary from
+``DiscoverySnapshot.server_addresses()``, so the rendered report and
+an exhaustive ``/services`` query are two views of one object -- they
+cannot disagree (the equivalence test in ``tests/test_query.py`` pins
+this).
+
+Two layers, so the fabric can ship snapshots across processes:
+
+* :func:`shard_snapshot_payload` -- one shard's contribution as a
+  plain picklable dict (workers produce these for ``snap`` requests);
+* :func:`merge_snapshot_payloads` -- dict-union of payloads into a
+  :class:`DiscoverySnapshot` (shard key spaces are disjoint by
+  construction, exactly like ``merge_shards``).
+
+:func:`snapshot_states` composes the two for the in-process engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
+
+from repro.net.addr import format_ipv4
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+
+#: A service endpoint, keyed the way the passive table keys it.
+Endpoint = tuple[int, int, int]  # (address, port, proto)
+
+#: Protocol numbers <-> the names the JSON API speaks.
+PROTO_NAMES = {PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+PROTO_NUMBERS = {name: number for number, name in PROTO_NAMES.items()}
+
+#: What kind of passive evidence backs an endpoint, by protocol: the
+#: paper's Section 3.2 rules (a SYN-ACK from campus; a campus datagram
+#: sourced at a watched UDP port).
+EVIDENCE = {PROTO_TCP: "syn-ack", PROTO_UDP: "udp-sport"}
+
+
+def shard_snapshot_payload(state) -> dict:
+    """One shard's snapshot contribution as plain picklable data.
+
+    *state* is a :class:`repro.stream.shard.ShardState` (duck-typed;
+    this module must not import :mod:`repro.stream`).  Client sets are
+    reduced to counts -- queries report cardinality, and counts ship
+    across the fabric's process boundary far cheaper than sets.
+    """
+    table = state.table
+    return {
+        "records": state.records,
+        "first_seen": dict(table.first_seen),
+        "last_seen": dict(state.last_seen),
+        "flows": dict(table.flow_counts),
+        "clients": {
+            endpoint: len(clients) for endpoint, clients in table.clients.items()
+        },
+    }
+
+
+@dataclass(frozen=True)
+class DiscoverySnapshot:
+    """One immutable published view of merged discovery state.
+
+    ``now`` is the stream time the snapshot covers (every record at or
+    before it is folded in -- the same contract as a watermark);
+    ``version`` is the publication sequence number stamped by
+    :class:`~repro.query.state.QueryState`.  The maps are merged across
+    shards and must never be mutated after construction.
+
+    ``last_seen`` only carries endpoints refreshed through the
+    streaming last-seen timeline (the default-rule signals);
+    :meth:`last_seen_of` falls back to ``first_seen``, so every known
+    endpoint reports a timestamp.
+    """
+
+    version: int
+    now: float
+    records: int
+    first_seen: Mapping[Endpoint, float] = field(default_factory=dict)
+    last_seen: Mapping[Endpoint, float] = field(default_factory=dict)
+    flows: Mapping[Endpoint, int] = field(default_factory=dict)
+    clients: Mapping[Endpoint, int] = field(default_factory=dict)
+    watermarks: tuple = ()
+
+    # ---- set views (the report's inputs) ------------------------------
+
+    def endpoints(self) -> set[Endpoint]:
+        """All (address, port, proto) endpoints with recorded evidence."""
+        return set(self.first_seen)
+
+    def server_addresses(self) -> set[int]:
+        """Addresses with at least one discovered service.
+
+        This is the passive set the final report's completeness summary
+        is computed from -- the report/query no-disagreement anchor.
+        """
+        return {address for address, _, _ in self.first_seen}
+
+    def last_seen_of(self, endpoint: Endpoint) -> float:
+        """Latest evidence time for *endpoint* (first-seen fallback)."""
+        seen = self.last_seen.get(endpoint)
+        return seen if seen is not None else self.first_seen[endpoint]
+
+    # ---- query views (the JSON API's rows) ----------------------------
+
+    def service_row(self, endpoint: Endpoint) -> dict:
+        """One endpoint as the JSON object every query endpoint returns."""
+        address, port, proto = endpoint
+        return {
+            "address": format_ipv4(address),
+            "port": port,
+            "proto": PROTO_NAMES.get(proto, str(proto)),
+            "evidence": EVIDENCE.get(proto, "unknown"),
+            "first_seen": self.first_seen[endpoint],
+            "last_seen": self.last_seen_of(endpoint),
+            "flows": self.flows.get(endpoint, 0),
+            "clients": self.clients.get(endpoint, 0),
+        }
+
+    def host_services(self, address: int) -> list[dict]:
+        """Every service of one address, sorted by (port, proto)."""
+        rows = [
+            self.service_row(endpoint)
+            for endpoint in self.first_seen
+            if endpoint[0] == address
+        ]
+        rows.sort(key=lambda row: (row["port"], row["proto"]))
+        return rows
+
+    def services(
+        self,
+        proto: int | None = None,
+        port: int | None = None,
+        since: float | None = None,
+    ) -> list[dict]:
+        """Filtered service listing (``GET /services``), sorted stably.
+
+        *since* keeps endpoints whose latest evidence is within that
+        many seconds of ``now`` -- "all HTTPS servers seen in the last
+        12h" is ``proto=6, port=443, since=43200``.
+        """
+        cutoff = None if since is None else self.now - since
+        rows = []
+        for endpoint in self.first_seen:
+            if proto is not None and endpoint[2] != proto:
+                continue
+            if port is not None and endpoint[1] != port:
+                continue
+            if cutoff is not None and self.last_seen_of(endpoint) < cutoff:
+                continue
+            rows.append(self.service_row(endpoint))
+        rows.sort(key=lambda row: (row["address"], row["port"], row["proto"]))
+        return rows
+
+    def passive_last_seen(self, address: int) -> float | None:
+        """Latest passive evidence across all of one address's services."""
+        times = [
+            self.last_seen_of(endpoint)
+            for endpoint in self.first_seen
+            if endpoint[0] == address
+        ]
+        return max(times) if times else None
+
+    def with_version(self, version: int) -> "DiscoverySnapshot":
+        """A copy stamped with a publication sequence number."""
+        return replace(self, version=version)
+
+
+def merge_snapshot_payloads(
+    payloads: Iterable[dict],
+    now: float,
+    records: int,
+    watermarks: Iterable = (),
+    version: int = 0,
+) -> DiscoverySnapshot:
+    """Union per-shard payloads into one snapshot (disjoint keys).
+
+    The same dict-union ``merge_shards`` performs on live tables, over
+    the plain-data payloads -- usable both in process (engine) and
+    across the fabric's queues (supervisor merging worker ``snap_ack``
+    payloads).
+    """
+    first_seen: dict[Endpoint, float] = {}
+    last_seen: dict[Endpoint, float] = {}
+    flows: dict[Endpoint, int] = {}
+    clients: dict[Endpoint, int] = {}
+    for payload in payloads:
+        first_seen.update(payload["first_seen"])
+        last_seen.update(payload["last_seen"])
+        flows.update(payload["flows"])
+        clients.update(payload["clients"])
+    return DiscoverySnapshot(
+        version=version,
+        now=now,
+        records=records,
+        first_seen=first_seen,
+        last_seen=last_seen,
+        flows=flows,
+        clients=clients,
+        watermarks=tuple(watermarks),
+    )
+
+
+def snapshot_states(
+    states: Iterable,
+    now: float,
+    records: int,
+    watermarks: Iterable = (),
+    version: int = 0,
+) -> DiscoverySnapshot:
+    """Copy-on-publish snapshot of in-process shard states.
+
+    Call only at a consistent cut (after the engine drains its shard
+    queues); the returned snapshot is immutable and safe to hand to
+    concurrent readers while ingest resumes.
+    """
+    return merge_snapshot_payloads(
+        (shard_snapshot_payload(state) for state in states),
+        now=now,
+        records=records,
+        watermarks=watermarks,
+        version=version,
+    )

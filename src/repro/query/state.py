@@ -1,0 +1,83 @@
+"""Lock-light hand-off between the ingest thread and the read path.
+
+One :class:`QueryState` instance sits between exactly one publisher
+(the engine's or fabric supervisor's thread, at snapshot boundaries)
+and any number of readers (the asyncio request handlers).  The
+protocol keeps both sides honest:
+
+* ``publish`` stamps the snapshot with the next version number and
+  swaps a single attribute reference.  The tiny lock serialises
+  *publishers* and the version counter only.
+* ``snapshot`` is one attribute read -- atomic under the interpreter,
+  no lock, never blocks, and the object it returns is frozen, so a
+  reader can take seconds over a response while ingest publishes ten
+  more versions.
+
+Consistency model: every response is computed against exactly one
+snapshot (a consistent stream prefix -- queues drained before copy),
+and versions observed by any single reader are monotone.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.query.liveness import ActiveView
+from repro.query.snapshot import DiscoverySnapshot
+
+
+class QueryState:
+    """Published snapshot + ingest status shared with the HTTP layer."""
+
+    def __init__(self, active: ActiveView | None = None):
+        self._lock = threading.Lock()
+        self._snapshot = DiscoverySnapshot(version=0, now=0.0, records=0)
+        self.active = active if active is not None else ActiveView(
+            first_open={}, last_open={}, sweeps=()
+        )
+        self._status = "starting"
+        self._error: str | None = None
+
+    # ---- publisher side (ingest thread) -------------------------------
+
+    def publish(self, snapshot: DiscoverySnapshot) -> DiscoverySnapshot:
+        """Stamp *snapshot* with the next version and make it current."""
+        with self._lock:
+            stamped = snapshot.with_version(self._snapshot.version + 1)
+            self._snapshot = stamped
+            if self._status == "starting":
+                self._status = "running"
+        return stamped
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self._status = "running"
+
+    def mark_finished(self) -> None:
+        with self._lock:
+            self._status = "finished"
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self._status = "failed"
+            self._error = error
+
+    # ---- reader side (request handlers) -------------------------------
+
+    def snapshot(self) -> DiscoverySnapshot:
+        """The current published snapshot (lock-free attribute read)."""
+        return self._snapshot
+
+    def health(self) -> dict:
+        """``GET /healthz`` body; ``ok`` iff ingest has not failed."""
+        snapshot = self._snapshot
+        status = self._status
+        return {
+            "ok": status != "failed",
+            "ingest": status,
+            "error": self._error,
+            "snapshot_version": snapshot.version,
+            "records": snapshot.records,
+            "now": snapshot.now,
+            "endpoints": len(snapshot.first_seen),
+        }

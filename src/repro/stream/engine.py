@@ -41,6 +41,7 @@ from repro.core.completeness import CompletenessSummary, summarize_overlap
 from repro.core.report import survey_table
 from repro.net.packet import PacketRecord
 from repro.passive.monitor import Endpoint, PassiveServiceTable
+from repro.query.snapshot import DiscoverySnapshot, snapshot_states
 from repro.stream.checkpoint import (
     checkpoint_config,
     load_checkpoint,
@@ -84,6 +85,11 @@ class StreamConfig:
     max_queue_chunks: int = DEFAULT_MAX_QUEUE_CHUNKS
     faults: object | None = None
     end: float | None = None
+    #: Publish a query snapshot every this many dataset seconds (needs a
+    #: ``publisher`` passed to :meth:`StreamEngine.run`).  Like
+    #: ``emit_every`` this is outside the checkpoint identity: it only
+    #: controls how often read-side copies are taken, never the result.
+    snapshot_every: float | None = None
     #: Consume the cached trace as zero-copy column batches (vectorised
     #: routing and shard folding).  Off, the engine decodes
     #: ``PacketRecord`` lists as before; results are byte-identical
@@ -97,6 +103,8 @@ class StreamConfig:
             raise ValueError("batch_records must be >= 1")
         if self.checkpoint_every is not None and self.checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
+        if self.snapshot_every is not None and self.snapshot_every <= 0:
+            raise ValueError("snapshot_every must be positive")
 
 
 @dataclass
@@ -118,6 +126,10 @@ class StreamResult:
     report: str | None = None
     table: PassiveServiceTable | None = None
     last_seen: dict[Endpoint, float] = field(default_factory=dict)
+    #: The final merged state as the query path's snapshot structure --
+    #: the same object type the live service answers from, so a query
+    #: response and this result cannot disagree.
+    snapshot: DiscoverySnapshot | None = None
 
 
 def finalize_result(
@@ -129,12 +141,16 @@ def finalize_result(
     records_delivered: int,
     checkpoints_written: int,
     resumed: bool,
+    now: float = 0.0,
 ) -> StreamResult:
     """Merge drained shard states and render the final report.
 
     The single funnel every streaming front-end finishes through --
     the threaded engine and the process fabric both call this, so
     "byte-identical to batch" is one code path, not a convention.
+    The completeness summary is computed from the *query snapshot's*
+    view of the merged state (:func:`snapshot_states`), so the rendered
+    report and an exhaustive ``/services`` query share one aggregation.
     """
     merged = merge_shards(
         states,
@@ -144,6 +160,9 @@ def finalize_result(
             udp_ports=dataset.udp_ports,
         ),
     )
+    snapshot = snapshot_states(
+        states, now=now, records=records_delivered, watermarks=watermarks
+    )
     active_addresses = {
         address for address, _ in union_open_endpoints(dataset.scan_reports)
     }
@@ -151,7 +170,7 @@ def finalize_result(
         active_addresses |= {
             address for address, _ in dataset.udp_report.open_endpoints()
         }
-    summary = summarize_overlap(merged.server_addresses(), active_addresses)
+    summary = summarize_overlap(snapshot.server_addresses(), active_addresses)
     report = survey_table(
         config.dataset, config.scale, config.seed,
         records_delivered, len(dataset.scan_reports), summary,
@@ -167,6 +186,7 @@ def finalize_result(
         report=report,
         table=merged,
         last_seen=merged_last_seen(states),
+        snapshot=snapshot,
     )
 
 
@@ -327,6 +347,7 @@ class StreamEngine:
         resume: bool = False,
         stop_after_records: int | None = None,
         progress: Callable[[Watermark], None] | None = None,
+        publisher=None,
     ) -> StreamResult:
         """Stream the dataset to completion (or resume a killed run).
 
@@ -342,6 +363,14 @@ class StreamEngine:
         On ``KeyboardInterrupt`` (the CLI maps SIGTERM onto it) the
         engine drains, writes a checkpoint when a path is configured,
         and re-raises -- the graceful half of kill/resume.
+
+        *publisher* is a :class:`repro.query.state.QueryState` (or
+        anything with ``publish(snapshot)``); when set together with
+        ``config.snapshot_every``, the engine drains at each snapshot
+        mark and publishes a copy-on-publish
+        :class:`~repro.query.snapshot.DiscoverySnapshot` of the merged
+        shard state.  The final snapshot is always published so the
+        service keeps answering after the stream ends.
         """
         config = self.config
         dataset = self.dataset
@@ -370,6 +399,12 @@ class StreamEngine:
             if config.emit_every
             else [end]
         )
+        snap_marks = (
+            emit_schedule(end, config.snapshot_every)
+            if publisher is not None and config.snapshot_every
+            else []
+        )
+        snap_index = 0
 
         records_read = 0
         records_delivered = 0
@@ -481,6 +516,29 @@ class StreamEngine:
                         ).observe(max(0.0, now - mark))
                     if progress is not None:
                         progress(watermark)
+                if snap_index < len(snap_marks) and now >= snap_marks[snap_index]:
+                    # Catch up past every satisfied mark but copy state
+                    # only once -- queues drained, so the snapshot is a
+                    # consistent stream prefix.
+                    while (
+                        snap_index < len(snap_marks)
+                        and now >= snap_marks[snap_index]
+                    ):
+                        snap_index += 1
+                    ingestor.drain()
+                    publisher.publish(
+                        snapshot_states(
+                            states,
+                            now=now,
+                            records=records_delivered,
+                            watermarks=list(watermarks),
+                        )
+                    )
+                    if reg.enabled:
+                        reg.counter(
+                            "repro_stream_snapshots_total",
+                            "Query snapshots published by stream runs.",
+                        ).inc()
                 if next_checkpoint is not None and now >= next_checkpoint:
                     ingestor.drain()
                     self._save_checkpoint(
@@ -568,10 +626,14 @@ class StreamEngine:
         if ckpt_path is not None and ckpt_path.exists():
             # Clean finish: a stale checkpoint must not hijack the next run.
             ckpt_path.unlink()
-        return finalize_result(
+        result = finalize_result(
             config, dataset, states, watermarks,
             records_read, records_delivered, checkpoints_written, resumed,
+            now=now,
         )
+        if publisher is not None and result.snapshot is not None:
+            publisher.publish(result.snapshot)
+        return result
 
 
 def batch_survey_report(config: StreamConfig, dataset=None) -> str:

@@ -60,6 +60,7 @@ from typing import Callable
 from repro.core.completeness import summarize_overlap
 from repro.faults.worker import WorkerFaultEvents, WorkerFaultPlan
 from repro.passive.monitor import PassiveServiceTable
+from repro.query.snapshot import merge_snapshot_payloads, shard_snapshot_payload
 from repro.stream.checkpoint import (
     ShardCheckpointStore,
     ShardRestore,
@@ -222,6 +223,13 @@ def _shard_worker(
                 generation = item[1]
                 store.save_shard(shard, generation, identity, state.state_dict())
                 results_queue.put(("ckpt_ack", shard, incarnation, generation))
+            elif kind == "snap":
+                # In-band like marks: the payload covers exactly the
+                # records fed before the request -- a consistent cut.
+                results_queue.put(
+                    ("snap_ack", shard, incarnation, item[1],
+                     shard_snapshot_payload(state))
+                )
             elif kind == "stop":
                 results_queue.put(("done", shard, incarnation, state.state_dict()))
                 return  # clean exit flushes the queue feeder
@@ -402,6 +410,9 @@ class FabricSupervisor:
                     pending.acks[shard] = message[4]
             elif kind == "ckpt_ack":
                 self._ckpt_acks.add((shard, message[3]))
+            elif kind == "snap_ack":
+                if message[3] == self._snap_index:
+                    self._snap_acks[shard] = message[4]
             elif kind == "done":
                 self._done[shard] = message[3]
             elif kind == "error":
@@ -563,6 +574,7 @@ class FabricSupervisor:
         """
         restarts = self.membership.note_restart(shard)
         self._ckpt_abort = True
+        self._snap_abort = True
         reg = _telemetry_registry()
         if reg.enabled:
             reg.counter(
@@ -740,6 +752,46 @@ class FabricSupervisor:
             )
             return
 
+    # ---- query snapshots ----------------------------------------------
+
+    def _publish_snapshot(self, publisher) -> None:
+        """Collect per-worker payloads and publish one merged snapshot.
+
+        The request travels in band, so each worker's payload covers
+        exactly the batches fed before it -- and the supervisor feeds
+        every shard from one source cursor, so the payloads form a
+        consistent stream prefix.  A failover anywhere in the round
+        aborts it: this boundary is simply skipped (queries keep
+        answering from the previous snapshot; the next boundary
+        publishes a fresh one).
+        """
+        self._snap_index += 1
+        index = self._snap_index
+        self._snap_acks = {}
+        self._snap_abort = False
+        for shard in range(self.config.shards):
+            if not self._put(shard, ("snap", index), abandon_on_failover=True):
+                return
+        while not self._snap_abort:
+            if len(self._snap_acks) >= self.config.shards:
+                publisher.publish(
+                    merge_snapshot_payloads(
+                        self._snap_acks.values(),
+                        now=self._now,
+                        records=self._records_delivered,
+                        watermarks=list(self._watermarks),
+                    )
+                )
+                reg = _telemetry_registry()
+                if reg.enabled:
+                    reg.counter(
+                        "repro_stream_snapshots_total",
+                        "Query snapshots published by stream runs.",
+                    ).inc()
+                return
+            self._pump(0.02)
+            self._reap()
+
     # ---- finish -------------------------------------------------------
 
     def _collect_states(self) -> list[ShardState]:
@@ -776,6 +828,7 @@ class FabricSupervisor:
         resume: bool = False,
         progress: Callable[[Watermark], None] | None = None,
         on_event: Callable[[str], None] | None = None,
+        publisher=None,
     ) -> StreamResult:
         """Stream the dataset through the worker fleet to completion.
 
@@ -785,7 +838,11 @@ class FabricSupervisor:
         generation (catching stragglers up by source replay), and
         continues -- converging to the identical final report.
         *on_event* receives human-readable fabric lifecycle lines
-        (launch/join/dead/reassign/manifest).
+        (launch/join/dead/reassign/manifest).  *publisher* plus
+        ``config.snapshot_every`` publishes merged query snapshots
+        aggregated from per-worker payloads (see
+        :meth:`_publish_snapshot`), exactly like the threaded engine's
+        ``publisher`` hook.
 
         On ``KeyboardInterrupt`` the fleet is torn down and the
         interrupt re-raised; resume picks up from the last committed
@@ -808,6 +865,12 @@ class FabricSupervisor:
             if config.emit_every
             else [self._end]
         )
+        snap_marks = (
+            emit_schedule(self._end, config.snapshot_every)
+            if publisher is not None and config.snapshot_every
+            else []
+        )
+        snap_cursor = 0
 
         self.membership = Membership(
             shards=config.shards,
@@ -834,6 +897,9 @@ class FabricSupervisor:
         self._catchup_records = 0
         self._heartbeats = 0
         self._ckpt_abort = False
+        self._snap_acks: dict[int, dict] = {}
+        self._snap_index = 0
+        self._snap_abort = False
         self._records_fed = [0] * config.shards
         resumed = False
 
@@ -929,6 +995,13 @@ class FabricSupervisor:
                         index, marks[index], self._records_delivered
                     )
                 self._emit_ready_marks(progress)
+                if snap_cursor < len(snap_marks) and self._now >= snap_marks[snap_cursor]:
+                    while (
+                        snap_cursor < len(snap_marks)
+                        and self._now >= snap_marks[snap_cursor]
+                    ):
+                        snap_cursor += 1
+                    self._publish_snapshot(publisher)
                 if next_checkpoint is not None and self._now >= next_checkpoint:
                     self._commit_checkpoint(faults, progress)
                     while next_checkpoint <= self._now:
@@ -978,7 +1051,10 @@ class FabricSupervisor:
             config, dataset, states, self._watermarks,
             self._records_read, self._records_delivered,
             self._checkpoints, resumed,
+            now=self._now,
         )
+        if publisher is not None and result.snapshot is not None:
+            publisher.publish(result.snapshot)
         if self.store is not None:
             # Clean finish: stale generations must not hijack the next run.
             self.store.clear()
