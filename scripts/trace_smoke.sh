@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for distributed event tracing + flight recorder.
+#
+# Runs a chaos fabric stream (every worker crashes once) with --trace
+# and asserts:
+#
+#   1. the traced report is byte-identical to the untraced one;
+#   2. the trace directory holds per-process event files from the
+#      supervisor and at least two incarnations of some shard, all
+#      sharing one trace_id;
+#   3. every induced crash left a flight-recorder dump;
+#   4. `repro trace-view` merges the files into valid Chrome-trace JSON
+#      and a text summary naming the failover;
+#   5. `repro serve --trace` answers /tracez and reports fabric health
+#      and flight-recorder state on /healthz, then exits 0 on SIGTERM.
+#
+# Usage: scripts/trace_smoke.sh [scale] [workers]
+set -euo pipefail
+
+SCALE="${1:-0.05}"
+WORKERS="${2:-2}"
+
+WORKDIR="$(mktemp -d)"
+export PYTHONPATH="${PYTHONPATH:-src}"
+export REPRO_TRACE_CACHE="${REPRO_TRACE_CACHE:-$WORKDIR/trace-cache}"
+
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+CHAOS_ARGS=(
+    DTCP1-18d --scale "$SCALE" --seed 11 --workers "$WORKERS"
+    --worker-crash-rate 1.0 --worker-fault-seed 13 --max-restarts 25
+    --heartbeat-interval 0.05 --miss-budget 4
+)
+
+echo "== chaos fabric stream, tracing off (reference) =="
+python -m repro stream "${CHAOS_ARGS[@]}" \
+    >"$WORKDIR/plain.txt" 2>"$WORKDIR/plain.log"
+
+echo "== chaos fabric stream, tracing on =="
+python -m repro stream "${CHAOS_ARGS[@]}" --trace "$WORKDIR/trace" \
+    >"$WORKDIR/traced.txt" 2>"$WORKDIR/traced.log"
+
+echo "== report byte-identical with tracing on =="
+cmp "$WORKDIR/plain.txt" "$WORKDIR/traced.txt" || {
+    echo "FAIL: tracing changed the report" >&2
+    exit 1
+}
+
+echo "== per-process event files share one trace id =="
+ls "$WORKDIR/trace"
+python - "$WORKDIR/trace" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+root = Path(sys.argv[1])
+files = sorted(root.glob("trace-events-*.jsonl"))
+events = [json.loads(line) for f in files for line in f.open()]
+assert events, "no trace events recorded"
+traces = {e["trace"] for e in events}
+assert len(traces) == 1, f"expected one trace_id, got {traces}"
+processes = {e["process"] for e in events}
+assert "supervisor" in processes, processes
+# Chaos crashed every worker once: some shard must have re-incarnated.
+assert any(p.endswith("-i1") for p in processes), processes
+
+deaths = [e for e in events if e["name"] == "fabric.dead"]
+assert deaths, "chaos run recorded no fabric.dead events"
+crash_dumps = sorted(root.glob("flight-shard*-crash.json"))
+assert crash_dumps, "no worker crash left a flight-recorder dump"
+failover_dumps = sorted(root.glob("flight-supervisor-failover-*.json"))
+assert len(failover_dumps) == len(deaths), (failover_dumps, len(deaths))
+print(f"OK: {len(events)} events, {len(processes)} processes, "
+      f"{len(crash_dumps)} crash dumps, {len(failover_dumps)} failover dumps")
+EOF
+
+echo "== trace-view merges into valid Chrome-trace JSON =="
+python -m repro trace-view "$WORKDIR/trace" >"$WORKDIR/summary.txt"
+grep -q "Failover timeline" "$WORKDIR/summary.txt"
+grep -q "fabric.restore" "$WORKDIR/summary.txt"
+python - "$WORKDIR/trace/trace.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+entries = doc["traceEvents"]
+assert entries, "empty Chrome trace"
+phases = {e["ph"] for e in entries}
+assert {"M", "X", "i"} <= phases, phases
+assert "s" in phases and "f" in phases, f"no flow arrows in {phases}"
+names = {e["args"]["name"] for e in entries if e["ph"] == "M"}
+assert "supervisor" in names, names
+incarnations = [n for n in names if n.startswith("shard")]
+assert len(incarnations) >= 2, f"want >=2 worker incarnations, got {names}"
+print(f"OK: {len(entries)} Chrome events across {sorted(names)}")
+EOF
+
+echo "== serve --trace: /tracez and flight state on /healthz =="
+python -m repro serve DTCP1-18d \
+    --scale "$SCALE" --seed 11 --workers "$WORKERS" --port 0 \
+    --snapshot-every 6 --trace "$WORKDIR/serve-trace" \
+    2>"$WORKDIR/serve.log" &
+SERVE_PID=$!
+
+URL=""
+for _ in $(seq 1 600); do
+    URL="$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$WORKDIR/serve.log" | head -n1)"
+    [ -n "$URL" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if [ -z "$URL" ]; then
+    echo "FAIL: serve never announced its address" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+echo "serving at $URL"
+
+curl -sf "$URL/tracez?limit=20" >"$WORKDIR/tracez.json"
+jq -e '.enabled == true and (.trace_id | length) == 32
+       and .process == "supervisor" and (.events | length) > 0
+       and .flight.limit > 0' "$WORKDIR/tracez.json" >/dev/null || {
+    echo "FAIL: /tracez shape is wrong" >&2
+    cat "$WORKDIR/tracez.json" >&2
+    exit 1
+}
+
+for _ in $(seq 1 600); do
+    curl -sf "$URL/healthz" >"$WORKDIR/health.json" || true
+    if jq -e '.ingest == "finished"' "$WORKDIR/health.json" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+jq -e '.ok == true and .flight.limit > 0 and (.fabric | length) > 0
+       and (.fabric[0] | has("incarnation") and has("restarts")
+            and has("heartbeat_age"))' "$WORKDIR/health.json" >/dev/null || {
+    echo "FAIL: /healthz is missing fabric or flight state" >&2
+    cat "$WORKDIR/health.json" >&2
+    exit 1
+}
+
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: serve exited $STATUS after SIGTERM" >&2
+    cat "$WORKDIR/serve.log" >&2
+    exit 1
+fi
+grep -q "trace: events in" "$WORKDIR/serve.log" || {
+    echo "FAIL: serve never logged its trace directory" >&2
+    exit 1
+}
+echo "PASS: tracing captured the failover causally and served /tracez"

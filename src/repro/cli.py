@@ -161,6 +161,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
             outage_count=args.outage_count,
         )
     fabric_mode = bool(args.fabric or args.workers is not None)
+    trace_dir = getattr(args, "trace", None)
+    if trace_dir:
+        from repro.telemetry import enable_tracing
+
+        enable_tracing(
+            trace_dir, process="supervisor" if fabric_mode else "engine"
+        )
     shards = args.workers if args.workers is not None else args.shards
     checkpoint = args.checkpoint
     if checkpoint is None and (args.checkpoint_every is not None or args.resume):
@@ -254,6 +261,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
         return 130
     finally:
         signal.signal(signal.SIGTERM, previous)
+        if trace_dir:
+            from repro.telemetry import disable_tracing
+
+            disable_tracing()
+            print(
+                f"trace: events in {trace_dir}; view with "
+                f"python -m repro trace-view {trace_dir}",
+                file=sys.stderr,
+            )
     print(result.report)
     if args.out:
         from pathlib import Path
@@ -340,6 +356,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         fabric=fabric_config,
         telemetry_dir=getattr(args, "telemetry", None),
+        trace_dir=getattr(args, "trace", None),
     )
 
 
@@ -483,6 +500,19 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
             top.add_row(format_ipv4(address), format_count(count))
         print()
         print(top.render())
+    return 0
+
+
+def cmd_trace_view(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_events, summarize, write_chrome_trace
+
+    events = load_events(args.directory)
+    if not events:
+        print(f"no trace events under {args.directory}", file=sys.stderr)
+        return 1
+    print(summarize(events))
+    path, count = write_chrome_trace(args.directory, out=args.out)
+    print(f"chrome trace: {count} events -> {path}", file=sys.stderr)
     return 0
 
 
@@ -661,6 +691,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     totals: dict[str, float] = {}
     histograms = []
     spans = []
+    process_spans = []
     for record in records:
         kind = record.get("type")
         name = record.get("name", "")
@@ -673,7 +704,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
             histograms.append(record)
             totals[name] = totals.get(name, 0) + record.get("count", 0)
         elif kind == "span":
-            spans.append(record)
+            # Per-process span records (fabric worker attribution) are
+            # already folded into the merged aggregates; keep them out
+            # of the default view so nothing double-counts.
+            if "process" in record:
+                process_spans.append(record)
+            else:
+                spans.append(record)
     if scalars:
         table = TextTable(
             title=f"Metrics: {len(scalars)} series",
@@ -703,6 +740,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
         )
         for record in spans:
             table.add_row(
+                record.get("name", ""),
+                format_count(record.get("count", 0)),
+                f"{record.get('wall_seconds', 0):.3f}",
+                f"{record.get('cpu_seconds', 0):.3f}",
+            )
+        print()
+        print(table.render())
+    if process_spans and getattr(args, "per_process", False):
+        table = TextTable(
+            title="Spans by process",
+            headers=["Process", "Span", "Count", "Wall s", "CPU s"],
+        )
+        for record in sorted(
+            process_spans,
+            key=lambda item: (item.get("process", ""), item.get("name", "")),
+        ):
+            table.add_row(
+                record.get("process", ""),
                 record.get("name", ""),
                 format_count(record.get("count", 0)),
                 f"{record.get('wall_seconds', 0):.3f}",
@@ -815,6 +870,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect metrics/spans and export a run manifest, "
              "Prometheus text and JSONL into DIR",
     )
+    stream.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="record causally linked trace events (and crash flight-"
+             "recorder dumps) into DIR; view with trace-view",
+    )
 
     serve = commands.add_parser(
         "serve", help="serve live discovery state over HTTP while ingesting"
@@ -866,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="DIR",
         help="export collected metrics into DIR on shutdown",
     )
+    serve.add_argument(
+        "--trace", default=None, metavar="DIR",
+        help="record causally linked trace events into DIR; serves "
+             "/tracez and flight-recorder state on /healthz",
+    )
 
     checkpoint = commands.add_parser(
         "checkpoint", help="checkpoint-store utilities"
@@ -900,6 +965,16 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("file")
     stats.add_argument("--campus", default="128.125.0.0/16")
     stats.add_argument("--top", type=int, default=10)
+
+    trace_view = commands.add_parser(
+        "trace-view",
+        help="merge a --trace directory into one Chrome-trace timeline",
+    )
+    trace_view.add_argument("directory")
+    trace_view.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="Chrome trace JSON output path (default DIR/trace.json)",
+    )
 
     trace = commands.add_parser(
         "trace", help="trace-file utilities (convert between formats)"
@@ -938,6 +1013,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate per-link and per-protocol counters across a "
              "directory of telemetry exports into one link-mix table",
     )
+    run_stats.add_argument(
+        "--per-process", action="store_true", dest="per_process",
+        help="also show span aggregates attributed to each fabric "
+             "worker process",
+    )
 
     from repro.experiments.degradation import configure_parser
 
@@ -960,6 +1040,7 @@ def main(argv: list[str] | None = None) -> int:
         "checkpoint": cmd_checkpoint,
         "record": cmd_record,
         "trace-stats": cmd_trace_stats,
+        "trace-view": cmd_trace_view,
         "trace": cmd_trace,
         "cache": cmd_cache,
         "stats": cmd_stats,

@@ -30,6 +30,7 @@ from urllib.parse import parse_qs, unquote, urlsplit
 from repro.net.addr import parse_ipv4
 from repro.telemetry.export import prometheus_text
 from repro.telemetry.metrics import registry
+from repro.telemetry.tracing import parse_traceparent, tracer
 
 from repro.query.liveness import infer_liveness
 from repro.query.state import QueryState
@@ -88,7 +89,8 @@ def _error(status: int, message: str) -> tuple[int, str, bytes]:
 def endpoint_label(path: str) -> str:
     """The telemetry label for a request path (bounded cardinality)."""
     head = path.split("/", 2)[1] if path.startswith("/") else ""
-    known = {"host", "services", "liveness", "watermarks", "healthz", "metricsz"}
+    known = {"host", "services", "liveness", "watermarks", "healthz",
+             "metricsz", "tracez"}
     return head if head in known else "other"
 
 
@@ -114,6 +116,29 @@ def handle_request(
             return 200, "text/plain; charset=utf-8", prometheus_text(
                 registry()
             ).encode()
+        if path == "/tracez":
+            # The serving process's flight-recorder ring: the most
+            # recent trace events, newest last, without touching disk.
+            trc = tracer()
+            events = trc.flight.snapshot()
+            if "limit" in query:
+                try:
+                    limit = int(query["limit"][-1])
+                except ValueError:
+                    raise _BadRequest(f"bad limit: {query['limit'][-1]!r}")
+                if limit < 0:
+                    raise _BadRequest("limit must be non-negative")
+                events = events[len(events) - limit:] if limit else []
+            return _json(
+                200,
+                {
+                    "enabled": trc.enabled,
+                    "trace_id": trc.trace_id,
+                    "process": trc.process,
+                    "flight": trc.flight.state(),
+                    "events": events,
+                },
+            )
         if path == "/watermarks":
             marks = [
                 {
@@ -222,8 +247,10 @@ class QueryService:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, target, keep_alive = request
-                status, content_type, body = self._dispatch(method, target)
+                method, target, keep_alive, traceparent = request
+                status, content_type, body = self._dispatch(
+                    method, target, traceparent
+                )
                 writer.write(_render_response(status, content_type, body, keep_alive))
                 await writer.drain()
                 if not keep_alive:
@@ -243,14 +270,27 @@ class QueryService:
             except (ConnectionError, asyncio.CancelledError):
                 pass
 
-    def _dispatch(self, method: str, target: str) -> tuple[int, str, bytes]:
+    def _dispatch(
+        self, method: str, target: str, traceparent: str | None = None
+    ) -> tuple[int, str, bytes]:
         reg = registry()
+        trc = tracer()
         label = endpoint_label(urlsplit(target).path)
         started = time.perf_counter()
-        try:
-            status, content_type, body = handle_request(self.state, method, target)
-        except Exception as exc:  # defensive: a bug must not kill the server
-            status, content_type, body = _error(500, f"internal error: {exc}")
+        # A valid W3C traceparent header links this request span into
+        # the caller's trace; otherwise it roots in this process.
+        parent = parse_traceparent(traceparent) if trc.enabled else None
+        with trc.span("query.request", parent=parent, endpoint=label) as tspan:
+            try:
+                status, content_type, body = handle_request(
+                    self.state, method, target
+                )
+            except Exception as exc:  # defensive: a bug must not kill the server
+                status, content_type, body = _error(
+                    500, f"internal error: {exc}"
+                )
+            if trc.enabled:
+                tspan.fields["status"] = status
         reg.histogram(
             "repro_query_request_seconds",
             "Query service request latency.",
@@ -267,23 +307,31 @@ class QueryService:
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader):
-        """One request head; None at EOF.  Bodies are not supported."""
+        """One request head; None at EOF.  Bodies are not supported.
+
+        Returns ``(method, target, keep_alive, traceparent)`` -- the
+        only headers inspected are ``Connection`` and ``traceparent``.
+        """
         line = await reader.readline()
         if not line:
             return None
         try:
             method, target, version = line.decode("latin-1").split()
         except ValueError:
-            return "BAD", "/", False
+            return "BAD", "/", False, None
         keep_alive = version.upper() != "HTTP/1.0"
+        traceparent = None
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "connection":
+            name = name.strip().lower()
+            if name == "connection":
                 keep_alive = value.strip().lower() != "close"
-        return method, target, keep_alive
+            elif name == "traceparent":
+                traceparent = value.strip()
+        return method, target, keep_alive, traceparent
 
 
 def _render_response(
@@ -325,13 +373,19 @@ class QueryClient:
                 pass
             self._reader = self._writer = None
 
-    async def get(self, target: str):
-        """GET *target*; returns ``(status, body)`` with JSON decoded."""
+    async def get(self, target: str, headers: dict | None = None):
+        """GET *target*; returns ``(status, body)`` with JSON decoded.
+
+        *headers* adds extra request headers (e.g. ``traceparent``).
+        """
         if self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
+        extra = ""
+        if headers:
+            extra = "".join(f"{k}: {v}\r\n" for k, v in headers.items())
         self._writer.write(
-            f"GET {target} HTTP/1.1\r\nHost: {self.host}\r\n\r\n".encode()
+            f"GET {target} HTTP/1.1\r\nHost: {self.host}\r\n{extra}\r\n".encode()
         )
         await self._writer.drain()
         status_line = await self._reader.readline()

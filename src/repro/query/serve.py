@@ -59,16 +59,27 @@ def run_serve(
     fabric=None,
     dataset=None,
     telemetry_dir: str | None = None,
+    trace_dir: str | None = None,
 ) -> int:
     """Serve *config*'s stream; blocks until SIGTERM/SIGINT.
 
     *fabric* (a :class:`repro.stream.FabricConfig`) selects the process
-    fabric; ``None`` runs the in-process threaded engine.  Returns the
-    process exit code.
+    fabric; ``None`` runs the in-process threaded engine.  *trace_dir*
+    enables distributed event tracing: the serving process (and, in
+    fabric mode, every shard worker) writes causally linked events
+    under that directory, ``/tracez`` serves the recent ring, and
+    ``/healthz`` reports flight-recorder state.  Returns the process
+    exit code.
     """
     from repro.telemetry import enable
 
     enable()  # /metricsz needs a live registry even without --telemetry
+    if trace_dir:
+        from repro.telemetry import enable_tracing
+
+        enable_tracing(
+            trace_dir, process="supervisor" if fabric is not None else "engine"
+        )
     from repro.stream import StreamEngine
 
     if fabric is not None:
@@ -89,6 +100,7 @@ def run_serve(
                 supervisor.run(
                     publisher=publisher,
                     on_event=lambda line: print(line, file=sys.stderr),
+                    on_health=state.update_fabric,
                 )
             else:
                 engine.run(publisher=publisher)
@@ -101,6 +113,11 @@ def run_serve(
             state.mark_finished()
 
     code = asyncio.run(_serve_until_signalled(state, ingest, stop, host, port))
+    if trace_dir:
+        from repro.telemetry import disable_tracing
+
+        disable_tracing()
+        print(f"trace: events in {trace_dir}", file=sys.stderr)
     if telemetry_dir:
         from repro.telemetry import RunManifest, registry, write_exports
 

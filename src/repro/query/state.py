@@ -37,6 +37,7 @@ class QueryState:
         )
         self._status = "starting"
         self._error: str | None = None
+        self._fabric: list[dict] | None = None
 
     # ---- publisher side (ingest thread) -------------------------------
 
@@ -62,6 +63,16 @@ class QueryState:
             self._status = "failed"
             self._error = error
 
+    def update_fabric(self, shards: list[dict]) -> None:
+        """Record the fabric's latest per-shard membership health.
+
+        Called (throttled) from the supervisor's ``on_health`` hook;
+        the list is replaced wholesale, so readers see one coherent
+        generation of the table.
+        """
+        with self._lock:
+            self._fabric = shards
+
     # ---- reader side (request handlers) -------------------------------
 
     def snapshot(self) -> DiscoverySnapshot:
@@ -69,10 +80,16 @@ class QueryState:
         return self._snapshot
 
     def health(self) -> dict:
-        """``GET /healthz`` body; ``ok`` iff ingest has not failed."""
+        """``GET /healthz`` body; ``ok`` iff ingest has not failed.
+
+        In fabric mode the body carries per-shard membership health
+        (incarnation, restart count, heartbeat age) so a degraded-but-
+        serving fabric is visible to clients; with tracing enabled it
+        also carries the serving process's flight-recorder state.
+        """
         snapshot = self._snapshot
         status = self._status
-        return {
+        body = {
             "ok": status != "failed",
             "ingest": status,
             "error": self._error,
@@ -81,3 +98,11 @@ class QueryState:
             "now": snapshot.now,
             "endpoints": len(snapshot.first_seen),
         }
+        if self._fabric is not None:
+            body["fabric"] = self._fabric
+        from repro.telemetry.tracing import tracer
+
+        trc = tracer()
+        if trc.enabled:
+            body["flight"] = trc.flight.state()
+        return body

@@ -57,6 +57,7 @@ from repro.stream.shard import (
 )
 from repro.stream.watermark import ActiveTimeline, Watermark, emit_schedule
 from repro.telemetry.metrics import registry as _telemetry_registry
+from repro.telemetry.tracing import tracer as _tracer
 from repro.trace.cache import default_trace_cache
 from repro.trace.columnar import read_trace_columns
 from repro.trace.format import DEFAULT_BATCH_RECORDS, read_records_chunked
@@ -460,6 +461,11 @@ class StreamEngine:
 
         ingestor = StreamIngestor(states, max_queue_chunks=config.max_queue_chunks)
         interrupted = False
+        trc = _tracer()
+        trc.event(
+            "stream.start", shards=shards, records=records_read,
+            resumed=resumed,
+        )
         wall_start = perf_counter()
         try:
             for batch in self._source_batches(records_read, end):
@@ -497,6 +503,8 @@ class StreamEngine:
                         )
                     else:
                         ingestor.dispatch(split_batch(batch, is_campus, shards))
+                    if trc.enabled:
+                        trc.note("engine.batch", records=records_read)
                 while emitted_index < len(marks) and now >= marks[emitted_index]:
                     ingestor.drain()
                     mark = marks[emitted_index]
@@ -505,6 +513,11 @@ class StreamEngine:
                     )
                     watermarks.append(watermark)
                     emitted_index += 1
+                    if trc.enabled:
+                        trc.event(
+                            "stream.watermark", mark=mark,
+                            records=records_delivered,
+                        )
                     if reg.enabled:
                         reg.counter(
                             "repro_stream_watermarks_total",
@@ -534,6 +547,10 @@ class StreamEngine:
                             watermarks=list(watermarks),
                         )
                     )
+                    if trc.enabled:
+                        trc.event(
+                            "stream.snapshot", records=records_delivered
+                        )
                     if reg.enabled:
                         reg.counter(
                             "repro_stream_snapshots_total",
@@ -541,9 +558,11 @@ class StreamEngine:
                         ).inc()
                 if next_checkpoint is not None and now >= next_checkpoint:
                     ingestor.drain()
-                    self._save_checkpoint(
-                        ckpt_path, identity, states, faults, snapshot_progress()
-                    )
+                    with trc.span("stream.checkpoint", records=records_read):
+                        self._save_checkpoint(
+                            ckpt_path, identity, states, faults,
+                            snapshot_progress(),
+                        )
                     checkpoints_written += 1
                     while next_checkpoint <= now:
                         next_checkpoint += config.checkpoint_every
@@ -626,6 +645,9 @@ class StreamEngine:
         if ckpt_path is not None and ckpt_path.exists():
             # Clean finish: a stale checkpoint must not hijack the next run.
             ckpt_path.unlink()
+        trc.event(
+            "stream.end", records=records_read, watermarks=len(watermarks)
+        )
         result = finalize_result(
             config, dataset, states, watermarks,
             records_read, records_delivered, checkpoints_written, resumed,

@@ -69,8 +69,11 @@ from repro.stream.engine import StreamConfig, StreamEngine, StreamResult, finali
 from repro.stream.membership import Membership
 from repro.stream.shard import ShardState, split_batch, split_columns
 from repro.stream.watermark import ActiveTimeline, Watermark, emit_schedule
+from repro.telemetry.metrics import MetricRegistry, set_registry
 from repro.telemetry.metrics import registry as _telemetry_registry
 from repro.telemetry.spans import span as _span
+from repro.telemetry.tracing import Tracer, set_tracer
+from repro.telemetry.tracing import tracer as _tracer
 
 
 class FabricError(RuntimeError):
@@ -141,6 +144,7 @@ def _shard_worker(
     results_queue,
     heartbeat_interval: float,
     events: WorkerFaultEvents,
+    trace_config: dict | None = None,
 ) -> None:
     """Child main: fold sub-batches, answer markers, heartbeat.
 
@@ -151,8 +155,39 @@ def _shard_worker(
     via ``os._exit`` on injected crashes (no atexit, no queue flush --
     indistinguishable from SIGKILL) and when orphaned by a dead
     supervisor.
+
+    Every in-band work item carries the supervisor's trace context as
+    its trailing element; with tracing on, the worker's own events
+    parent on it, which is what stitches a failover into one causal
+    chain across the process boundary.  The inherited parent tracer and
+    registry must never be written from the child: the tracer is
+    replaced first thing (a fresh per-incarnation one, or the null
+    tracer), and a fresh metric registry is swapped in iff telemetry is
+    enabled, its snapshot shipped home on the ``done`` message.
     """
     parent = os.getppid()
+    if trace_config is not None:
+        trc = set_tracer(
+            Tracer(
+                trace_config["directory"],
+                trace_id=trace_config["trace_id"],
+                process=f"shard{shard}-i{incarnation}",
+                flight_limit=trace_config["flight_limit"],
+            )
+        )
+        trc.event(
+            "worker.start",
+            parent=trace_config["parent"],
+            shard=shard,
+            incarnation=incarnation,
+        )
+    else:
+        trc = set_tracer(None)
+    snapshot_home = _telemetry_registry().enabled
+    if snapshot_home:
+        # The forked registry holds the parent's counts; a fresh one
+        # isolates this worker's contribution for the merge at "done".
+        set_registry(MetricRegistry())
     state = ShardState(
         shard,
         PassiveServiceTable(
@@ -190,15 +225,35 @@ def _shard_worker(
             kind = item[0]
             if kind == "batch":
                 part = item[1]
-                if isinstance(part, list):
-                    state.observe_batch(part)
-                else:
-                    state.observe_columns(part)
+                with _span("fabric.worker.batch"):
+                    if isinstance(part, list):
+                        state.observe_batch(part)
+                    else:
+                        state.observe_columns(part)
+                if trc.enabled:
+                    trc.note("worker.batch", parent=item[2],
+                             records=state.records)
                 if events.crash_at is not None and state.records >= events.crash_at:
+                    if trc.enabled:
+                        trc.event("worker.crash", parent=item[2], shard=shard,
+                                  incarnation=incarnation,
+                                  records=state.records)
+                        trc.dump_flight(
+                            "crash",
+                            f"injected crash at {state.records} records",
+                        )
                     os._exit(137)  # injected crash: as abrupt as SIGKILL
                 if events.stall_at is not None and state.records >= events.stall_at:
                     # Injected stall: stop consuming *and* beating, so the
                     # supervisor's miss budget is what ends us.
+                    if trc.enabled:
+                        trc.event("worker.stall", parent=item[2], shard=shard,
+                                  incarnation=incarnation,
+                                  records=state.records)
+                        trc.dump_flight(
+                            "stall",
+                            f"injected stall at {state.records} records",
+                        )
                     while True:
                         time.sleep(heartbeat_interval)
                         if os.getppid() != parent:
@@ -207,36 +262,58 @@ def _shard_worker(
                     drop_armed = False
                     suppress_beats = events.drop_heartbeats
             elif kind == "mark":
-                _, index, mark = item
-                owned = sorted(
-                    {
-                        address
-                        for (address, _p, _pr), seen
-                        in state.table.first_seen.items()
-                        if seen <= mark
-                    }
-                )
+                _, index, mark, ctx = item
+                with _span("fabric.worker.mark"), \
+                        trc.span("worker.mark", parent=ctx, index=index,
+                                 records=state.records):
+                    owned = sorted(
+                        {
+                            address
+                            for (address, _p, _pr), seen
+                            in state.table.first_seen.items()
+                            if seen <= mark
+                        }
+                    )
                 results_queue.put(
                     ("mark_ack", shard, incarnation, index, tuple(owned))
                 )
             elif kind == "ckpt":
                 generation = item[1]
-                store.save_shard(shard, generation, identity, state.state_dict())
+                with _span("fabric.worker.ckpt"), \
+                        trc.span("worker.ckpt", parent=item[2],
+                                 generation=generation,
+                                 records=state.records):
+                    store.save_shard(
+                        shard, generation, identity, state.state_dict()
+                    )
                 results_queue.put(("ckpt_ack", shard, incarnation, generation))
             elif kind == "snap":
                 # In-band like marks: the payload covers exactly the
                 # records fed before the request -- a consistent cut.
+                with trc.span("worker.snap", parent=item[2], index=item[1],
+                              records=state.records):
+                    payload = shard_snapshot_payload(state)
                 results_queue.put(
-                    ("snap_ack", shard, incarnation, item[1],
-                     shard_snapshot_payload(state))
+                    ("snap_ack", shard, incarnation, item[1], payload)
                 )
             elif kind == "stop":
-                results_queue.put(("done", shard, incarnation, state.state_dict()))
+                if trc.enabled:
+                    trc.event("worker.done", parent=item[1], shard=shard,
+                              incarnation=incarnation, records=state.records)
+                    trc.close()
+                results_queue.put(
+                    ("done", shard, incarnation, state.state_dict(),
+                     _telemetry_registry().snapshot() if snapshot_home else None)
+                )
                 return  # clean exit flushes the queue feeder
     except KeyboardInterrupt:
         os._exit(130)
     except BaseException as exc:  # noqa: BLE001 - reported, then hard exit
         try:
+            if trc.enabled:
+                trc.event("worker.error", shard=shard,
+                          incarnation=incarnation, error=repr(exc))
+                trc.dump_flight("error", repr(exc))
             results_queue.put(("error", shard, incarnation, repr(exc)))
             results_queue.close()
             results_queue.join_thread()
@@ -321,13 +398,26 @@ class FabricSupervisor:
             if self._worker_faults is not None
             else WorkerFaultEvents()
         )
+        trc = _tracer()
+        if trc.enabled:
+            # Flush so the child's inherited file buffer is empty, and
+            # hand it the current span as the parent of worker.start.
+            trc.flush()
+            trace_config = {
+                "directory": str(trc.directory),
+                "trace_id": trc.trace_id,
+                "parent": trc.current_ids(),
+                "flight_limit": trc.flight.limit,
+            }
+        else:
+            trace_config = None
         process = self._ctx.Process(
             target=_shard_worker,
             args=(
                 shard, incarnation, self.dataset, self._identity,
                 self._store_root(), self.fabric.keep_generations,
                 initial_state, self._queues[shard], self._results,
-                self.fabric.heartbeat_interval, events,
+                self.fabric.heartbeat_interval, events, trace_config,
             ),
             name=f"repro-fabric-shard-{shard}",
             daemon=True,
@@ -341,6 +431,10 @@ class FabricSupervisor:
                 "repro_fabric_launches_total",
                 "Worker processes launched (first launches and restarts).",
             ).inc()
+        trc.event(
+            "fabric.launch", shard=shard, incarnation=incarnation,
+            worker_pid=process.pid,
+        )
         self._event(
             f"fabric: launch shard={shard} incarnation={incarnation} "
             f"pid={process.pid}"
@@ -397,6 +491,10 @@ class FabricSupervisor:
                         "repro_fabric_joins_total",
                         "Registration handshakes completed by workers.",
                     ).inc()
+                _tracer().event(
+                    "fabric.join", shard=shard, incarnation=incarnation,
+                    worker_pid=message[3],
+                )
                 self._event(
                     f"fabric: join shard={shard} incarnation={incarnation} "
                     f"pid={message[3]}"
@@ -415,6 +513,10 @@ class FabricSupervisor:
                     self._snap_acks[shard] = message[4]
             elif kind == "done":
                 self._done[shard] = message[3]
+                if len(message) > 4 and message[4] is not None:
+                    reg = _telemetry_registry()
+                    if reg.enabled:
+                        reg.merge_snapshot(message[4], process=f"shard{shard}")
             elif kind == "error":
                 self._worker_errors[shard] = message[3]
 
@@ -446,6 +548,13 @@ class FabricSupervisor:
             reason = self._dead_reason(shard)
             if reason is not None:
                 self._failover(shard, reason)
+        if self._on_health is not None:
+            # _reap runs per batch; throttle pushes so the serving side
+            # sees fresh-enough membership without per-batch overhead.
+            now = monotonic()
+            if now - self._last_health_push >= 0.25:
+                self._last_health_push = now
+                self._on_health(self.membership.health(self._wall()))
 
     # ---- data movement ------------------------------------------------
 
@@ -544,7 +653,9 @@ class FabricSupervisor:
                 part = parts[shard]
                 if part:
                     if not self._put(
-                        shard, ("batch", part), abandon_on_failover=True
+                        shard,
+                        ("batch", part, _tracer().current_ids()),
+                        abandon_on_failover=True,
                     ):
                         return False
             if not self.membership.is_current(shard, incarnation):
@@ -582,14 +693,29 @@ class FabricSupervisor:
                 "Shard failovers performed, by shard.",
                 shard=str(shard),
             ).inc()
+        trc = _tracer()
+        trc.event("fabric.dead", shard=shard, restarts=restarts, reason=reason)
+        # Every induced death gets a post-mortem ring dump; the key is
+        # unique per (shard, restart) so repeat failovers each get one.
+        trc.dump_flight(f"failover-shard{shard}-r{restarts}", reason)
         self._event(
             f"fabric: dead shard={shard} restarts={restarts} reason={reason!r}"
         )
         if restarts > self.fabric.max_restarts:
+            trc.event(
+                "fabric.degraded", shard=shard, restarts=restarts - 1,
+                reason=reason,
+            )
+            trc.dump_flight(
+                "degraded",
+                f"shard {shard} restarted {restarts - 1} times ({reason})",
+            )
             self._kill_all()
             raise FabricDegradedError(shard, restarts - 1, reason)
         started = perf_counter()
-        with _span("fabric.reassign"):
+        with _span("fabric.reassign"), trc.span(
+            "fabric.reassign", shard=shard, restarts=restarts
+        ):
             self._kill_worker(shard)
             backoff = min(
                 self.fabric.restart_backoff * (2 ** (restarts - 1)),
@@ -605,6 +731,11 @@ class FabricSupervisor:
                     shard=shard, state=None, records_read=0, faults=None
                 )
             incarnation = self._spawn(shard, restore.state)
+            trc.event(
+                "fabric.restore", shard=shard, incarnation=incarnation,
+                from_records=restore.records_read,
+                records=self._records_fed[shard],
+            )
             self._event(
                 f"fabric: reassign shard={shard} incarnation={incarnation} "
                 f"from_records={restore.records_read} "
@@ -623,7 +754,9 @@ class FabricSupervisor:
                     pending = self._pending_marks[index]
                     if shard not in pending.acks:
                         if not self._put(
-                            shard, ("mark", pending.index, pending.mark),
+                            shard,
+                            ("mark", pending.index, pending.mark,
+                             trc.current_ids()),
                             abandon_on_failover=True,
                         ):
                             break
@@ -639,9 +772,12 @@ class FabricSupervisor:
         self._pending_marks[index] = _PendingMark(
             index=index, mark=mark, records=records
         )
+        ctx = _tracer().current_ids()
         for shard in range(self.config.shards):
             # On failover the marker resend inside _failover covers it.
-            self._put(shard, ("mark", index, mark), abandon_on_failover=True)
+            self._put(
+                shard, ("mark", index, mark, ctx), abandon_on_failover=True
+            )
 
     def _emit_ready_marks(
         self, progress: Callable[[Watermark], None] | None
@@ -704,9 +840,10 @@ class FabricSupervisor:
             generation = self._generation
             self._ckpt_abort = False
             aborted = False
+            ctx = _tracer().current_ids()
             for shard in range(self.config.shards):
                 if not self._put(
-                    shard, ("ckpt", generation), abandon_on_failover=True
+                    shard, ("ckpt", generation, ctx), abandon_on_failover=True
                 ):
                     aborted = True
                     break
@@ -737,6 +874,10 @@ class FabricSupervisor:
             path = self.store.save_manifest(generation, self._identity, payload)
             self._committed = generation
             self._checkpoints += 1
+            _tracer().event(
+                "fabric.manifest", generation=generation,
+                records=self._records_read,
+            )
             if reg.enabled:
                 reg.counter(
                     "repro_stream_checkpoints_total",
@@ -769,8 +910,11 @@ class FabricSupervisor:
         index = self._snap_index
         self._snap_acks = {}
         self._snap_abort = False
+        ctx = _tracer().current_ids()
         for shard in range(self.config.shards):
-            if not self._put(shard, ("snap", index), abandon_on_failover=True):
+            if not self._put(
+                shard, ("snap", index, ctx), abandon_on_failover=True
+            ):
                 return
         while not self._snap_abort:
             if len(self._snap_acks) >= self.config.shards:
@@ -803,7 +947,8 @@ class FabricSupervisor:
                     continue
                 incarnation = self.membership.members[shard].incarnation
                 if stop_sent.get(shard) != incarnation:
-                    if self._put(shard, ("stop",), abandon_on_failover=True):
+                    item = ("stop", _tracer().current_ids())
+                    if self._put(shard, item, abandon_on_failover=True):
                         stop_sent[shard] = incarnation
             self._pump(0.02)
             self._reap()
@@ -829,6 +974,7 @@ class FabricSupervisor:
         progress: Callable[[Watermark], None] | None = None,
         on_event: Callable[[str], None] | None = None,
         publisher=None,
+        on_health: Callable[[list[dict]], None] | None = None,
     ) -> StreamResult:
         """Stream the dataset through the worker fleet to completion.
 
@@ -842,7 +988,10 @@ class FabricSupervisor:
         ``config.snapshot_every`` publishes merged query snapshots
         aggregated from per-worker payloads (see
         :meth:`_publish_snapshot`), exactly like the threaded engine's
-        ``publisher`` hook.
+        ``publisher`` hook.  *on_health* receives throttled
+        :meth:`~repro.stream.membership.Membership.health` summaries
+        (per-shard heartbeat age / incarnation / restarts) so a serving
+        layer can expose fabric liveness on ``/healthz``.
 
         On ``KeyboardInterrupt`` the fleet is torn down and the
         interrupt re-raised; resume picks up from the last committed
@@ -854,6 +1003,8 @@ class FabricSupervisor:
         self._identity = self.engine._identity()
         self._end = self.engine._effective_end()
         self._on_event = on_event
+        self._on_health = on_health
+        self._last_health_push = 0.0
         faults = (
             self.plan.capture_filter(dataset.duration)
             if self.plan is not None
@@ -930,6 +1081,11 @@ class FabricSupervisor:
                 next_checkpoint += config.checkpoint_every
 
         reg = _telemetry_registry()
+        trc = _tracer()
+        trc.event(
+            "fabric.start", shards=config.shards,
+            records=self._records_read, resumed=resumed,
+        )
         read_at_start = self._records_read
         is_campus = dataset.is_campus
         shards = config.shards
@@ -978,10 +1134,15 @@ class FabricSupervisor:
                         if columnar
                         else split_batch(batch, is_campus, shards)
                     )
+                    ctx = trc.current_ids()
                     for shard, part in enumerate(parts):
                         if part:
-                            self._put(shard, ("batch", part))
+                            self._put(shard, ("batch", part, ctx))
                         self._records_fed[shard] = self._records_read
+                    if trc.enabled:
+                        trc.note(
+                            "supervisor.batch", records=self._records_read
+                        )
                 self._pump()
                 self._reap()
                 self._emit_ready_marks(progress)
@@ -1014,6 +1175,10 @@ class FabricSupervisor:
                 self._send_mark(index, marks[index], self._records_delivered)
             self._await_marks(progress)
             states = self._collect_states()
+            trc.event(
+                "fabric.end", records=self._records_read,
+                watermarks=len(self._watermarks),
+            )
         except KeyboardInterrupt:
             self._kill_all()
             raise

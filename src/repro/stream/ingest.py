@@ -177,6 +177,18 @@ class StreamIngestor:
                 waited += self.put_timeout
                 self._raise_pending()
                 if waited >= self.stall_timeout:
+                    from repro.telemetry.tracing import tracer
+
+                    trc = tracer()
+                    if trc.enabled:
+                        trc.event(
+                            "stream.ingest_stall", shard=index,
+                            waited=round(waited, 3), timeouts=timeouts,
+                        )
+                        trc.dump_flight(
+                            f"ingest-stall-shard{index}",
+                            f"shard {index} queue full for {waited:.1f}s",
+                        )
                     raise IngestStallError(index, waited, timeouts) from None
 
     def dispatch(self, parts: list) -> None:

@@ -135,3 +135,26 @@ class Membership:
 
     def overdue_shards(self, now: float) -> list[int]:
         return [s for s in range(self.shards) if self.overdue(s, now)]
+
+    def health(self, now: float) -> list[dict]:
+        """Per-shard liveness summary, JSON-ready for ``/healthz``.
+
+        One dict per shard: current incarnation, pid, whether the join
+        handshake completed, restart count, heartbeat age in seconds,
+        and accepted-heartbeat total.
+        """
+        summary = []
+        for shard in range(self.shards):
+            member = self.members[shard]
+            summary.append(
+                {
+                    "shard": shard,
+                    "incarnation": member.incarnation,
+                    "pid": member.pid,
+                    "joined": member.joined,
+                    "restarts": member.restarts,
+                    "heartbeat_age": round(self.heartbeat_age(shard, now), 3),
+                    "heartbeats": member.heartbeats,
+                }
+            )
+        return summary

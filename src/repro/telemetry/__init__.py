@@ -11,7 +11,14 @@ The subsystem has four pieces:
   what configuration (dataset, seed, scale, fault digest, git SHA);
 * :mod:`.export` -- Prometheus text and JSON-lines exporters, written
   per run into a ``--telemetry DIR`` directory and read back by
-  ``python -m repro stats``.
+  ``python -m repro stats``;
+* :mod:`.tracing` / :mod:`.flight` / :mod:`.chrome` -- distributed
+  event tracing: causally linked spans/events sharing one per-run
+  ``trace_id`` across processes (fabric queue messages and the query
+  service's W3C ``traceparent`` header carry the context), a bounded
+  per-process flight-recorder ring dumped atomically on crashes and
+  stalls, and a Chrome-trace/Perfetto exporter behind
+  ``python -m repro trace-view``.
 
 Instrumentation contract: enabling telemetry must never change any
 experiment result -- only record what happened.  With telemetry off
@@ -49,35 +56,79 @@ from repro.telemetry.metrics import (
     set_registry,
     telemetry_enabled,
 )
+from repro.telemetry.chrome import (
+    chrome_trace,
+    load_events,
+    summarize,
+    write_chrome_trace,
+)
+from repro.telemetry.flight import (
+    DEFAULT_FLIGHT_LIMIT,
+    FlightRecorder,
+    NullFlightRecorder,
+    load_flight_dump,
+)
 from repro.telemetry.spans import SpanTimer, span
 from repro.telemetry.tap import ReplayTap
+from repro.telemetry.tracing import (
+    NullTracer,
+    SpanContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    set_tracer,
+    tracer,
+    tracing_enabled,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "NullFlightRecorder",
     "NullRegistry",
+    "NullTracer",
     "SpanAggregate",
+    "SpanContext",
     "SpanTimer",
     "ReplayTap",
     "RunManifest",
+    "Tracer",
+    "DEFAULT_FLIGHT_LIMIT",
     "DEFAULT_TIME_BUCKETS",
     "JSONL_FILE",
     "MANIFEST_FILE",
     "PROMETHEUS_FILE",
+    "chrome_trace",
     "disable",
+    "disable_tracing",
     "enable",
+    "enable_tracing",
     "fault_plan_digest",
     "git_sha",
     "jsonl_text",
+    "load_events",
+    "load_flight_dump",
     "load_manifest",
     "load_metrics",
     "load_run",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "prometheus_text",
     "registry",
     "set_registry",
+    "set_tracer",
     "span",
+    "summarize",
     "telemetry_enabled",
+    "tracer",
+    "tracing_enabled",
+    "write_chrome_trace",
     "write_exports",
 ]

@@ -1,0 +1,269 @@
+"""Merge per-process trace event files into one viewable timeline.
+
+Every traced process appends JSONL records to its own
+``trace-events-<process>.jsonl`` under the shared trace directory
+(see :mod:`repro.telemetry.tracing`).  This module merges those files
+into (a) a Chrome-trace-event JSON document -- loadable in
+``chrome://tracing`` or Perfetto -- and (b) a plain-text summary for
+terminals: per-process event counts, span latencies, the failover
+timeline, and per-shard ingest lag.
+
+Chrome-trace mapping: each repro process becomes a synthetic trace
+"process" (``ph: "M"`` / ``process_name`` metadata, supervisor-like
+processes sorted first); spans become complete events (``ph: "X"``,
+microsecond ``ts``/``dur``); point events become instants
+(``ph: "i"``); and whenever a record's parent span lives in a
+*different* process, a flow arrow (``ph: "s"`` -> ``ph: "f"``) is
+drawn between them, which is how a failover renders as one connected
+chain from the supervisor's death-detection through the replacement
+worker's start.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.report import TextTable
+from repro.telemetry.tracing import EVENTS_PREFIX
+
+
+def load_events(directory: str | Path) -> list[dict]:
+    """Parse every ``trace-events-*.jsonl`` under *directory*.
+
+    Records are returned sorted by timestamp.  Unparseable lines (a
+    process killed mid-write can truncate its last line) are skipped.
+    """
+    directory = Path(directory)
+    events: list[dict] = []
+    for path in sorted(directory.glob(f"{EVENTS_PREFIX}*.jsonl")):
+        with open(path, "r", encoding="utf-8") as fileobj:
+            for line in fileobj:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "ts" in record and "name" in record:
+                    events.append(record)
+    events.sort(key=lambda record: record.get("ts", 0.0))
+    return events
+
+
+def _process_order(events: list[dict]) -> list[str]:
+    """Stable display order: coordinator-like processes first."""
+    names = sorted({record.get("process", "?") for record in events})
+    head = [n for n in names if n in ("supervisor", "engine", "main")]
+    return head + [n for n in names if n not in head]
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Build a Chrome-trace-event document from merged records."""
+    order = _process_order(events)
+    pids = {name: index + 1 for index, name in enumerate(order)}
+    trace_events: list[dict] = []
+    for name, pid in pids.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    # Where each span id lives, for cross-process flow arrows.
+    span_home: dict[str, str] = {}
+    for record in events:
+        span_id = record.get("span")
+        if span_id:
+            span_home[span_id] = record.get("process", "?")
+    flow_id = 0
+    for record in events:
+        process = record.get("process", "?")
+        pid = pids.get(process, 0)
+        ts_us = record["ts"] * 1e6
+        args = {
+            "trace": record.get("trace"),
+            "span": record.get("span"),
+            "parent": record.get("parent"),
+        }
+        args.update(record.get("fields", {}))
+        if record.get("kind") == "span":
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": record["name"],
+                    "pid": pid,
+                    "tid": record.get("pid", 0),
+                    "ts": ts_us,
+                    "dur": record.get("dur", 0.0) * 1e6,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "p",
+                    "name": record["name"],
+                    "pid": pid,
+                    "tid": record.get("pid", 0),
+                    "ts": ts_us,
+                    "args": args,
+                }
+            )
+        parent = record.get("parent")
+        home = span_home.get(parent)
+        if parent and home is not None and home != process:
+            flow_id += 1
+            trace_events.append(
+                {
+                    "ph": "s",
+                    "id": flow_id,
+                    "name": "causal",
+                    "cat": "trace",
+                    "pid": pids.get(home, 0),
+                    "tid": 0,
+                    "ts": ts_us,
+                }
+            )
+            trace_events.append(
+                {
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "name": "causal",
+                    "cat": "trace",
+                    "pid": pid,
+                    "tid": record.get("pid", 0),
+                    "ts": ts_us,
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    directory: str | Path, out: str | Path | None = None
+) -> tuple[Path, int]:
+    """Merge *directory* and write the Chrome trace; returns (path, count)."""
+    directory = Path(directory)
+    events = load_events(directory)
+    document = chrome_trace(events)
+    path = Path(out) if out is not None else directory / "trace.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, separators=(",", ":")), encoding="utf-8"
+    )
+    return path, len(events)
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.2f}ms"
+
+
+def summarize(events: list[dict]) -> str:
+    """Render the merged timeline as terminal text."""
+    lines: list[str] = []
+    if not events:
+        return "no trace events found\n"
+    traces = sorted({record.get("trace", "?") for record in events})
+    start = events[0]["ts"]
+    end = events[-1]["ts"]
+    lines.append(
+        f"trace {', '.join(traces)}: {len(events)} events over "
+        f"{_format_seconds(max(0.0, end - start))}"
+    )
+    lines.append("")
+
+    by_process: dict[str, list[dict]] = {}
+    for record in events:
+        by_process.setdefault(record.get("process", "?"), []).append(record)
+    table = TextTable("Processes", ["process", "events", "spans", "first", "last"])
+    for name in _process_order(events):
+        records = by_process[name]
+        spans = sum(1 for r in records if r.get("kind") == "span")
+        table.add_row(
+            name,
+            len(records),
+            spans,
+            f"+{_format_seconds(records[0]['ts'] - start)}",
+            f"+{_format_seconds(records[-1]['ts'] - start)}",
+        )
+    lines.append(table.render())
+    lines.append("")
+
+    durations: dict[str, list[float]] = {}
+    for record in events:
+        if record.get("kind") == "span" and "dur" in record:
+            durations.setdefault(record["name"], []).append(record["dur"])
+    if durations:
+        table = TextTable("Span latencies", ["span", "count", "mean", "max"])
+        for name in sorted(durations):
+            values = durations[name]
+            table.add_row(
+                name,
+                len(values),
+                _format_seconds(sum(values) / len(values)),
+                _format_seconds(max(values)),
+            )
+        lines.append(table.render())
+        lines.append("")
+
+    failover = [
+        record
+        for record in events
+        if record["name"]
+        in ("fabric.dead", "fabric.restore", "worker.start", "worker.crash",
+            "fabric.degraded")
+    ]
+    if failover:
+        table = TextTable(
+            "Failover timeline", ["t", "process", "event", "detail"]
+        )
+        for record in failover:
+            fields = record.get("fields", {})
+            detail = " ".join(
+                f"{key}={fields[key]}" for key in sorted(fields)
+            )
+            table.add_row(
+                f"+{_format_seconds(record['ts'] - start)}",
+                record.get("process", "?"),
+                record["name"],
+                detail,
+            )
+        lines.append(table.render())
+        lines.append("")
+
+    supervisor_records = 0
+    for record in events:
+        if record.get("process") in ("supervisor", "engine"):
+            fields = record.get("fields", {})
+            if isinstance(fields.get("records"), int):
+                supervisor_records = max(supervisor_records, fields["records"])
+    worker_last: dict[str, int] = {}
+    for record in events:
+        process = record.get("process", "?")
+        if process.startswith("shard"):
+            fields = record.get("fields", {})
+            if isinstance(fields.get("records"), int):
+                worker_last[process] = max(
+                    worker_last.get(process, 0), fields["records"]
+                )
+    if worker_last:
+        table = TextTable(
+            "Per-shard ingest progress",
+            ["worker", "records", "lag vs supervisor"],
+        )
+        table.add_note("record counts last reported by each worker incarnation")
+        for name in sorted(worker_last):
+            lag = max(0, supervisor_records - worker_last[name])
+            table.add_row(name, worker_last[name], lag)
+        lines.append(table.render())
+        lines.append("")
+
+    return "\n".join(lines).rstrip("\n") + "\n"

@@ -99,6 +99,22 @@ def prometheus_text(registry: MetricRegistry) -> str:
         type_line("repro_span_count", "counter",
                   "Number of times each span path was entered.")
         lines.append(f"repro_span_count{labels} {aggregate.count}")
+        type_line("repro_span_seconds", "histogram",
+                  "Wall-time latency distribution of each span path.")
+        cumulative = 0
+        for bound, count in zip(aggregate.bounds, aggregate.bucket_counts):
+            cumulative += count
+            bucket_labels = _format_labels(
+                (("span", path),), (("le", f"{bound:g}"),)
+            )
+            lines.append(f"repro_span_seconds_bucket{bucket_labels} {cumulative}")
+        inf_labels = _format_labels((("span", path),), (("le", "+Inf"),))
+        lines.append(f"repro_span_seconds_bucket{inf_labels} {aggregate.count}")
+        lines.append(
+            f"repro_span_seconds_sum{labels} "
+            f"{_format_value(aggregate.wall_seconds)}"
+        )
+        lines.append(f"repro_span_seconds_count{labels} {aggregate.count}")
     return "\n".join(lines) + "\n"
 
 
@@ -123,16 +139,30 @@ def jsonl_records(registry: MetricRegistry) -> Iterator[dict]:
             record["value"] = metric.value
         yield record
     for path in sorted(registry.spans):
-        aggregate = registry.spans[path]
-        yield {
-            "type": "span",
-            "name": path,
-            "count": aggregate.count,
-            "wall_seconds": aggregate.wall_seconds,
-            "cpu_seconds": aggregate.cpu_seconds,
-            "min_seconds": aggregate.min_seconds,
-            "max_seconds": aggregate.max_seconds,
-        }
+        yield _span_record(registry.spans[path])
+    # Per-process span attribution (fork/fabric workers), tagged with a
+    # "process" key so merged rows above stay unambiguous.
+    for process in sorted(registry.process_spans):
+        per = registry.process_spans[process]
+        for path in sorted(per):
+            record = _span_record(per[path])
+            record["process"] = process
+            yield record
+
+
+def _span_record(aggregate) -> dict:
+    return {
+        "type": "span",
+        "name": aggregate.name,
+        "count": aggregate.count,
+        "wall_seconds": aggregate.wall_seconds,
+        "cpu_seconds": aggregate.cpu_seconds,
+        "min_seconds": aggregate.min_seconds,
+        "max_seconds": aggregate.max_seconds,
+        "bounds": list(aggregate.bounds),
+        "bucket_counts": list(aggregate.bucket_counts),
+        "overflow": aggregate.overflow,
+    }
 
 
 def jsonl_text(registry: MetricRegistry) -> str:

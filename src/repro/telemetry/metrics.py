@@ -128,7 +128,12 @@ class Histogram:
 
 @dataclass
 class SpanAggregate:
-    """Accumulated timings for one span path (see :mod:`.spans`)."""
+    """Accumulated timings for one span path (see :mod:`.spans`).
+
+    Besides the totals, each aggregate keeps a wall-time histogram
+    (same non-cumulative bucket layout as :class:`Histogram`) so
+    exporters can graph span *latency distributions*, not just sums.
+    """
 
     name: str
     count: int = 0
@@ -136,8 +141,15 @@ class SpanAggregate:
     cpu_seconds: float = 0.0
     min_seconds: float = 0.0
     max_seconds: float = 0.0
+    bounds: tuple[float, ...] = DEFAULT_TIME_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    overflow: int = 0
 
     kind = "span"
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(self.bounds)
 
     def add(self, wall: float, cpu: float) -> None:
         if self.count == 0 or wall < self.min_seconds:
@@ -147,6 +159,11 @@ class SpanAggregate:
         self.count += 1
         self.wall_seconds += wall
         self.cpu_seconds += cpu
+        index = bisect_left(self.bounds, wall)
+        if index < len(self.bounds):
+            self.bucket_counts[index] += 1
+        else:
+            self.overflow += 1
 
 
 class MetricRegistry:
@@ -157,6 +174,10 @@ class MetricRegistry:
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, LabelItems], Counter | Gauge | Histogram] = {}
         self.spans: dict[str, SpanAggregate] = {}
+        # Span aggregates as reported by each worker process, keyed by
+        # process name -- kept alongside the merged ``spans`` so
+        # ``repro stats --per-process`` can attribute time per worker.
+        self.process_spans: dict[str, dict[str, SpanAggregate]] = {}
         self._span_stack: list[str] = []
 
     # ---- get-or-create ------------------------------------------------
@@ -241,24 +262,23 @@ class MetricRegistry:
             else:
                 entry["value"] = metric.value
             metrics.append(entry)
-        spans = [
-            {
-                "name": agg.name,
-                "count": agg.count,
-                "wall_seconds": agg.wall_seconds,
-                "cpu_seconds": agg.cpu_seconds,
-                "min_seconds": agg.min_seconds,
-                "max_seconds": agg.max_seconds,
+        spans = [_span_entry(agg) for agg in self.spans.values()]
+        result = {"metrics": metrics, "spans": spans}
+        if self.process_spans:
+            result["process_spans"] = {
+                process: [_span_entry(agg) for agg in per.values()]
+                for process, per in self.process_spans.items()
             }
-            for agg in self.spans.values()
-        ]
-        return {"metrics": metrics, "spans": spans}
+        return result
 
-    def merge_snapshot(self, snapshot: dict) -> None:
+    def merge_snapshot(self, snapshot: dict, process: str | None = None) -> None:
         """Fold a worker's :meth:`snapshot` into this registry.
 
         Counters and histograms add; gauges take the snapshot's value
-        (last writer wins); spans combine their aggregates.
+        (last writer wins); spans combine their aggregates.  When
+        *process* is given, the snapshot's spans are additionally kept
+        under ``process_spans[process]`` so per-worker attribution
+        survives the merge.
         """
         for entry in snapshot.get("metrics", ()):
             labels = dict(tuple(pair) for pair in entry.get("labels", ()))
@@ -286,17 +306,50 @@ class MetricRegistry:
                     histogram.sum += entry.get("sum", 0.0)
                     histogram.count += entry.get("count", 0)
         for span in snapshot.get("spans", ()):
-            aggregate = self.spans.get(span["name"])
-            if aggregate is None:
-                aggregate = self.spans[span["name"]] = SpanAggregate(
-                    name=span["name"]
-                )
-            if aggregate.count == 0 or span["min_seconds"] < aggregate.min_seconds:
-                aggregate.min_seconds = span["min_seconds"]
-            aggregate.max_seconds = max(aggregate.max_seconds, span["max_seconds"])
-            aggregate.count += span["count"]
-            aggregate.wall_seconds += span["wall_seconds"]
-            aggregate.cpu_seconds += span["cpu_seconds"]
+            _merge_span(self.spans, span)
+            if process is not None:
+                _merge_span(self.process_spans.setdefault(process, {}), span)
+        # A supervisor's snapshot may itself carry per-process spans
+        # (fabric run exported then re-merged); keep the attribution.
+        for name, entries in snapshot.get("process_spans", {}).items():
+            target = self.process_spans.setdefault(name, {})
+            for span in entries:
+                _merge_span(target, span)
+
+
+def _span_entry(aggregate: SpanAggregate) -> dict:
+    """Plain-data form of one span aggregate, for snapshots."""
+    return {
+        "name": aggregate.name,
+        "count": aggregate.count,
+        "wall_seconds": aggregate.wall_seconds,
+        "cpu_seconds": aggregate.cpu_seconds,
+        "min_seconds": aggregate.min_seconds,
+        "max_seconds": aggregate.max_seconds,
+        "bounds": list(aggregate.bounds),
+        "bucket_counts": list(aggregate.bucket_counts),
+        "overflow": aggregate.overflow,
+    }
+
+
+def _merge_span(target: dict[str, SpanAggregate], span: dict) -> None:
+    """Fold one snapshot span entry into *target* (by span path)."""
+    aggregate = target.get(span["name"])
+    if aggregate is None:
+        aggregate = target[span["name"]] = SpanAggregate(name=span["name"])
+    if aggregate.count == 0 or span["min_seconds"] < aggregate.min_seconds:
+        aggregate.min_seconds = span["min_seconds"]
+    aggregate.max_seconds = max(aggregate.max_seconds, span["max_seconds"])
+    aggregate.count += span["count"]
+    aggregate.wall_seconds += span["wall_seconds"]
+    aggregate.cpu_seconds += span["cpu_seconds"]
+    counts = span.get("bucket_counts", ())
+    if len(counts) == len(aggregate.bucket_counts) and tuple(
+        span.get("bounds", aggregate.bounds)
+    ) == tuple(aggregate.bounds):
+        for index, count in enumerate(counts):
+            aggregate.bucket_counts[index] += count
+        aggregate.overflow += span.get("overflow", 0)
 
 
 class _NullMetric:

@@ -1,0 +1,409 @@
+"""Distributed event tracing with zero overhead when disabled.
+
+This module gives every run a single ``trace_id`` and lets each process
+emit causally linked *events* and *spans* into an append-only JSONL
+file (``trace-events-<process>.jsonl``) under one shared trace
+directory.  Causality crosses process boundaries two ways:
+
+* **Fabric queues** -- the supervisor appends its current
+  ``(trace_id, span_id)`` pair to every in-band queue message, and the
+  shard worker uses it as the ``parent`` of the events it emits while
+  handling that message.  A failover therefore shows up as one causal
+  chain: death detection (supervisor) -> restore span (supervisor) ->
+  ``worker.start`` (replacement incarnation) -> gap-replay batches.
+* **HTTP** -- the query service accepts a W3C ``traceparent`` request
+  header (``00-<32 hex>-<16 hex>-01``) and parents its per-request
+  span on the caller's span.
+
+Two emission tiers keep hot paths cheap: :meth:`Tracer.event` is
+*durable* (ring buffer + JSONL line + flush) and is reserved for
+low-rate lifecycle/barrier moments; :meth:`Tracer.note` touches only
+the in-memory flight-recorder ring and is safe per batch.  When
+tracing is off the module-level singleton is a shared
+:class:`NullTracer` whose methods are constant no-ops -- the same
+contract (byte-identical reports, <2% overhead) the metric registry
+made in PR 3.
+
+The tracer is shared between an ingest thread and the asyncio serving
+thread in ``repro serve``; the span stack is therefore thread-local
+and file writes take a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.telemetry.flight import (
+    DEFAULT_FLIGHT_LIMIT,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+
+#: Per-process event files are named ``trace-events-<process>.jsonl``.
+EVENTS_PREFIX = "trace-events-"
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """An addressable point in a trace: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+    def to_traceparent(self) -> str:
+        """Serialize as a W3C ``traceparent`` header value."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+
+def parse_traceparent(header: str | None) -> SpanContext | None:
+    """Parse a W3C ``traceparent`` header; ``None`` when malformed.
+
+    Only version-00 headers are understood; the all-zero trace id is
+    rejected per the spec.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) != 4 or parts[0] != "00":
+        return None
+    trace_id, span_id = parts[1], parts[2]
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    if not (set(trace_id) <= _HEX and set(span_id) <= _HEX):
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+def _parent_ids(parent) -> tuple[str | None, str | None]:
+    """Normalize a parent argument to ``(trace_id_or_None, span_id)``.
+
+    Accepts a :class:`SpanContext`, a ``(trace_id, span_id)`` tuple
+    (the wire form carried on fabric queue messages), or a bare span-id
+    string from the local process.
+    """
+    if parent is None:
+        return None, None
+    if isinstance(parent, SpanContext):
+        return parent.trace_id, parent.span_id
+    if isinstance(parent, tuple) and len(parent) == 2:
+        return parent[0], parent[1]
+    if isinstance(parent, str):
+        return None, parent
+    return None, None
+
+
+class _TraceSpan:
+    """Context manager recording one durable span on exit.
+
+    ``fields`` is mutable while the span is open, so call sites can
+    attach results (record counts, status codes) discovered mid-span.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "_parent", "fields", "_t0", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, parent, fields: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = new_span_id()
+        self._parent = parent
+        self.fields = fields
+
+    def __enter__(self) -> "_TraceSpan":
+        self._tracer._push(self.span_id)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        self._tracer._pop()
+        if exc_type is not None:
+            self.fields.setdefault("error", exc_type.__name__)
+        self._tracer._emit(
+            kind="span",
+            name=self.name,
+            span_id=self.span_id,
+            parent=self._parent,
+            ts=self._wall,
+            dur=duration,
+            fields=self.fields,
+            durable=True,
+        )
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self._tracer.trace_id, self.span_id)
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    fields: dict = {}
+    span_id = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """A per-process emitter of causally linked trace events."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        trace_id: str | None = None,
+        process: str = "main",
+        flight_limit: int = DEFAULT_FLIGHT_LIMIT,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.trace_id = trace_id or new_trace_id()
+        self.process = process
+        self.pid = os.getpid()
+        # Every record a process emits parents, by default, on this
+        # root span, so "who started this process" is always answerable.
+        self.root_id = new_span_id()
+        self.flight = FlightRecorder(limit=flight_limit, process=process)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._file = open(
+            self.directory / f"{EVENTS_PREFIX}{process}.jsonl",
+            "a",
+            encoding="utf-8",
+        )
+        self._closed = False
+        self.event("process.start", span=self.root_id)
+
+    # -- span stack (thread-local: ingest thread vs asyncio thread) --
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span_id: str) -> None:
+        self._stack().append(span_id)
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def current_ids(self) -> tuple[str, str]:
+        """The ``(trace_id, span_id)`` wire context to attach to messages."""
+        stack = self._stack()
+        return (self.trace_id, stack[-1] if stack else self.root_id)
+
+    def current_context(self) -> SpanContext:
+        trace_id, span_id = self.current_ids()
+        return SpanContext(trace_id, span_id)
+
+    # -- emission --
+
+    def _emit(
+        self,
+        *,
+        kind: str,
+        name: str,
+        parent,
+        ts: float,
+        fields: dict,
+        span_id: str | None = None,
+        dur: float | None = None,
+        durable: bool = False,
+    ) -> None:
+        parent_trace, parent_span = _parent_ids(parent)
+        if parent_span is None:
+            parent_span = self.root_id
+        record = {
+            "ts": ts,
+            "kind": kind,
+            "name": name,
+            "trace": self.trace_id,
+            "parent": parent_span,
+            "process": self.process,
+            "pid": self.pid,
+        }
+        if span_id is not None:
+            record["span"] = span_id
+        if dur is not None:
+            record["dur"] = dur
+        if parent_trace is not None and parent_trace != self.trace_id:
+            record["link_trace"] = parent_trace
+        if fields:
+            record["fields"] = fields
+        self.flight.record(record)
+        if durable and not self._closed:
+            line = json.dumps(record, separators=(",", ":"))
+            with self._lock:
+                if not self._closed:
+                    self._file.write(line + "\n")
+                    self._file.flush()
+
+    def event(self, name: str, *, parent=None, span: str | None = None, **fields) -> None:
+        """A durable point event (ring + JSONL + flush). Low-rate only."""
+        self._emit(
+            kind="event",
+            name=name,
+            span_id=span,
+            parent=parent,
+            ts=time.time(),
+            fields=fields,
+            durable=True,
+        )
+
+    def note(self, name: str, *, parent=None, **fields) -> None:
+        """A ring-only event: cheap enough for per-batch call sites."""
+        self._emit(
+            kind="event",
+            name=name,
+            parent=parent,
+            ts=time.time(),
+            fields=fields,
+            durable=False,
+        )
+
+    def span(self, name: str, *, parent=None, **fields) -> _TraceSpan:
+        """A durable timed span; nests via the thread-local stack."""
+        if parent is None:
+            stack = self._stack()
+            if stack:
+                parent = stack[-1]
+        return _TraceSpan(self, name, parent, fields)
+
+    def dump_flight(self, key: str, reason: str) -> Path | None:
+        """Dump the flight ring to the trace directory (once per key)."""
+        return self.flight.dump(self.directory, key, reason)
+
+    def flush(self) -> None:
+        """Flush the event file (call before forking a child)."""
+        with self._lock:
+            if not self._closed:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._file.flush()
+                self._file.close()
+
+
+class NullTracer:
+    """Shared no-op tracer active when tracing is off.
+
+    Mirrors the :class:`Tracer` surface with constant-cost methods so
+    call sites can run unconditionally cheap checks (``tracer().enabled``)
+    or even skip the check for rare events.
+    """
+
+    enabled = False
+    trace_id = ""
+    process = "null"
+    root_id = ""
+    directory = None
+    flight = NullFlightRecorder()
+
+    def current_ids(self) -> None:
+        return None
+
+    def current_context(self) -> None:
+        return None
+
+    def event(self, name: str, *, parent=None, span=None, **fields) -> None:
+        pass
+
+    def note(self, name: str, *, parent=None, **fields) -> None:
+        pass
+
+    def span(self, name: str, *, parent=None, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def dump_flight(self, key: str, reason: str) -> None:
+        return None
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_TRACER = NullTracer()
+_active: Tracer | NullTracer = _NULL_TRACER
+
+
+def tracer() -> Tracer | NullTracer:
+    """The process-wide active tracer (the shared null one by default)."""
+    return _active
+
+
+def set_tracer(instance: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install *instance* (``None`` -> the null tracer); returns it.
+
+    Forked fabric workers call this first thing: the child inherits the
+    parent's tracer object, whose file handle it must not write.
+    """
+    global _active
+    _active = instance if instance is not None else _NULL_TRACER
+    return _active
+
+
+def enable_tracing(
+    directory: str | Path,
+    *,
+    process: str = "main",
+    trace_id: str | None = None,
+    flight_limit: int = DEFAULT_FLIGHT_LIMIT,
+) -> Tracer:
+    """Create and install a real tracer writing under *directory*."""
+    return set_tracer(
+        Tracer(
+            directory,
+            trace_id=trace_id,
+            process=process,
+            flight_limit=flight_limit,
+        )
+    )
+
+
+def disable_tracing() -> None:
+    """Close the active tracer (if real) and restore the null tracer."""
+    global _active
+    if _active is not _NULL_TRACER:
+        _active.close()
+    _active = _NULL_TRACER
+
+
+def tracing_enabled() -> bool:
+    return _active.enabled
