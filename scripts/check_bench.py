@@ -4,8 +4,9 @@
 Runs ``record_bench.py`` fresh (same dataset/scale/seed the committed
 ``BENCH_baseline.json`` was recorded under, unless overridden) and
 compares every throughput figure -- scalar and columnar replay,
-scalar and columnar streaming ingest, the process fabric
-(``stream_fabric``), and the live query service's ``queries_per_sec``
+scalar and columnar streaming ingest, the online-probing stream
+(``stream_online_probe``), the process fabric (``stream_fabric``),
+and the live query service's ``queries_per_sec``
 (``query_service``) -- against the baseline.
 The check fails when any figure drops below
 ``baseline * (1 - tolerance)``; improvements and small wobbles pass
@@ -46,6 +47,7 @@ GATED = (
     ("replay_columnar", "records_per_sec"),
     ("stream", "records_per_sec"),
     ("stream_columnar", "records_per_sec"),
+    ("stream_online_probe", "records_per_sec"),
     ("stream_fabric", "records_per_sec"),
     ("query_service", "queries_per_sec"),
 )

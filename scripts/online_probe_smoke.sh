@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test for the online probe scheduler.
+#
+# Runs a sharded `repro stream` with the periodic-sweep probe policy to
+# completion as the reference, then reruns it with periodic
+# checkpointing, SIGKILLs the process after the first checkpoint lands
+# (mid-sweep scheduler state included, no graceful handler gets a
+# chance to run), resumes with --resume, and asserts:
+#
+#   1. the killed run left a loadable checkpoint and no report;
+#   2. the resume announced the checkpoint it picked up;
+#   3. the resumed report -- including the probe-derived active side --
+#      is byte-identical to the uninterrupted one;
+#   4. the checkpoint is removed after the clean finish;
+#   5. the same online run through the worker-process fabric produces
+#      the same report (probing lives in the supervisor, so worker
+#      placement cannot perturb the schedule).
+#
+# Usage: scripts/online_probe_smoke.sh [scale] [shards]
+set -euo pipefail
+
+SCALE="${1:-0.1}"
+SHARDS="${2:-2}"
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+export PYTHONPATH="${PYTHONPATH:-src}"
+export REPRO_TRACE_CACHE="${REPRO_TRACE_CACHE:-$WORKDIR/trace-cache}"
+
+CKPT="$WORKDIR/stream.ckpt"
+STREAM=(python -m repro stream DTCP1-18d
+        --scale "$SCALE" --seed 11 --shards "$SHARDS"
+        --emit-every 96
+        --probe-policy periodic --probe-rate 5)
+
+echo "== reference: uninterrupted online stream =="
+"${STREAM[@]}" --out "$WORKDIR/reference.txt"
+grep -q "Passive AND Active" "$WORKDIR/reference.txt" || {
+    echo "FAIL: online report has no active side" >&2
+    exit 1
+}
+
+echo "== interrupted run: SIGKILL after the first checkpoint =="
+"${STREAM[@]}" --checkpoint-every 12 --checkpoint "$CKPT" \
+    --out "$WORKDIR/resumed.txt" >/dev/null 2>"$WORKDIR/interrupted.log" &
+PID=$!
+for _ in $(seq 1 6000); do
+    [ -f "$CKPT" ] && break
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.02
+done
+if ! kill -KILL "$PID" 2>/dev/null; then
+    echo "FAIL: stream finished before it could be killed" >&2
+    cat "$WORKDIR/interrupted.log" >&2
+    exit 1
+fi
+wait "$PID" || true
+if [ ! -f "$CKPT" ]; then
+    echo "FAIL: no checkpoint written before the kill" >&2
+    exit 1
+fi
+if [ -f "$WORKDIR/resumed.txt" ]; then
+    echo "FAIL: killed run should not have produced a report" >&2
+    exit 1
+fi
+
+echo "== resume =="
+"${STREAM[@]}" --checkpoint-every 12 --checkpoint "$CKPT" --resume \
+    --out "$WORKDIR/resumed.txt" 2>"$WORKDIR/resume.log"
+cat "$WORKDIR/resume.log"
+grep -q "resuming:" "$WORKDIR/resume.log" || {
+    echo "FAIL: resume did not pick up the checkpoint" >&2
+    exit 1
+}
+
+echo "== compare =="
+if ! cmp "$WORKDIR/reference.txt" "$WORKDIR/resumed.txt"; then
+    echo "FAIL: resumed report differs from the uninterrupted run" >&2
+    exit 1
+fi
+if [ -f "$CKPT" ]; then
+    echo "FAIL: checkpoint not removed after a successful resume" >&2
+    exit 1
+fi
+
+echo "== fabric: same online run through worker processes =="
+"${STREAM[@]}" --workers "$SHARDS" --out "$WORKDIR/fabric.txt"
+if ! cmp "$WORKDIR/reference.txt" "$WORKDIR/fabric.txt"; then
+    echo "FAIL: fabric online report differs from the engine run" >&2
+    exit 1
+fi
+echo "PASS: online probe run survives SIGKILL/resume and fabric placement"

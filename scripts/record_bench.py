@@ -16,7 +16,7 @@ row (the sharded pipeline of :mod:`repro.stream` over the same cached
 trace), so stream-engine regressions gate the same way replay
 regressions do (``scripts/check_bench.py``).
 
-Six throughput rows are recorded.  ``replay`` is the *scalar v1
+Seven throughput rows are recorded.  ``replay`` is the *scalar v1
 path*: the cached (v2) trace is converted to a temporary v1 file and
 replayed through the per-record decoder, so the row keeps measuring
 what it always measured; ``stream`` runs the engine with its columnar
@@ -26,7 +26,11 @@ zero-copy path; ``check_bench.py`` ratchets the columnar rows to stay
 at least 5x their scalar counterparts.  ``stream_fabric`` runs the
 same stream through the supervised worker-*process* fabric
 (``--fabric-workers``, default 4), gating the multiprocessing path's
-throughput alongside the in-process ones.  ``query_service`` measures
+throughput alongside the in-process ones.  ``stream_online_probe``
+runs the columnar stream with the online probe scheduler enabled
+(heartbeat, 1 probe/s on port 80), gating the probing hot path --
+probe dispatch interleaved with ingest plus active-evidence folding --
+so enabling probing cannot silently tax ingest.  ``query_service`` measures
 the live query service: ``--query-clients`` concurrent asyncio
 clients issue ``--query-requests`` mixed HTTP queries against a
 :class:`repro.query.QueryService` while the streaming engine ingests
@@ -104,6 +108,34 @@ def timed_stream_pass(
     started = time.perf_counter()
     result = engine.run()
     return result.records_read, time.perf_counter() - started
+
+
+def timed_online_probe_pass(
+    args, dataset, shards: int
+) -> tuple[int, float, int]:
+    """One streaming run with the online probe scheduler enabled.
+
+    Heartbeat policy at 1 probe/s over port 80 (the bench dataset is
+    DTCPall, whose port set is "all", so the port must be explicit).
+    The row gates the probing hot path -- probe dispatch interleaved
+    with ingest plus active-evidence folding.  Probe cost scales with
+    *simulated duration* (rate x days), not with record count, so the
+    row reports probes_issued alongside records_per_sec.
+    """
+    from repro.stream import StreamConfig, StreamEngine
+
+    engine = StreamEngine(
+        StreamConfig(
+            dataset=args.dataset, seed=args.seed, scale=args.scale,
+            shards=shards, columnar=True,
+            probe_policy="heartbeat", probe_rate=1.0, probe_ports=(80,),
+        ),
+        dataset=dataset,
+    )
+    started = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - started
+    return result.records_read, elapsed, result.snapshot.probes.issued
 
 
 def timed_fabric_pass(args, dataset, workers: int) -> tuple[int, float]:
@@ -266,6 +298,10 @@ def main(argv: list[str] | None = None) -> int:
             timed_stream_pass(args, dataset, args.stream_shards, True)
             for _ in range(args.repeats)
         ]
+        online = [
+            timed_online_probe_pass(args, dataset, args.stream_shards)
+            for _ in range(args.repeats)
+        ]
         fabric = [
             timed_fabric_pass(args, dataset, args.fabric_workers)
             for _ in range(args.repeats)
@@ -287,8 +323,12 @@ def main(argv: list[str] | None = None) -> int:
         count == stream_records
         for count, _ in streamed + stream_columnar + fabric
     )
+    assert all(count == stream_records for count, _, _ in online)
+    probes_issued = online[0][2]
+    assert all(issued == probes_issued for _, _, issued in online)
     best_stream = min(seconds for _, seconds in streamed)
     best_stream_columnar = min(seconds for _, seconds in stream_columnar)
+    best_online = min(seconds for _, seconds, _ in online)
     best_fabric = min(seconds for _, seconds in fabric)
     query_total = queried[0][0]
     assert all(count == query_total for count, _ in queried)
@@ -340,6 +380,17 @@ def main(argv: list[str] | None = None) -> int:
                 best_stream / best_stream_columnar, 2
             ),
         },
+        "stream_online_probe": {
+            "records": stream_records,
+            "shards": args.stream_shards,
+            "policy": "heartbeat",
+            "probe_rate": 1.0,
+            "probe_ports": [80],
+            "probes_issued": probes_issued,
+            "best_seconds": round(best_online, 4),
+            "records_per_sec": round(stream_records / best_online, 1),
+            "probes_per_sec": round(probes_issued / best_online, 1),
+        },
         "stream_fabric": {
             "records": stream_records,
             "workers": args.fabric_workers,
@@ -366,6 +417,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{baseline['stream_columnar']['records_per_sec']:,.0f} rec/s "
           f"({args.stream_shards} shards, "
           f"{baseline['stream_columnar']['speedup_vs_scalar']:.1f}x), "
+          f"online probe "
+          f"{baseline['stream_online_probe']['records_per_sec']:,.0f} rec/s "
+          f"({probes_issued:,} probes interleaved), "
           f"fabric {baseline['stream_fabric']['records_per_sec']:,.0f} rec/s "
           f"({args.fabric_workers} workers), "
           f"query {baseline['query_service']['queries_per_sec']:,.0f} q/s "

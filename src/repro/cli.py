@@ -35,6 +35,10 @@ Operational entry points over the library:
 ``degradation``
     Sweep seeded capture-loss/outage fault plans against passive and
     active completeness (see :mod:`repro.experiments.degradation`).
+``online_probing``
+    Compare heartbeat and periodic online probing against the passive
+    stream across probe budgets: completeness and evidence freshness
+    per policy (see :mod:`repro.experiments.online_probing`).
 ``stats DIR``
     Read back a ``--telemetry DIR`` export: run manifest, counters and
     gauges, histograms, and span timings.  ``--require NAME...`` exits
@@ -188,6 +192,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_path=checkpoint,
         max_queue_chunks=args.queue_chunks,
         faults=plan,
+        probe_policy=args.probe_policy,
+        probe_rate=args.probe_rate,
+        probe_ports=tuple(args.probe_ports) if args.probe_ports else None,
     )
     if args.resume and checkpoint:
         from pathlib import Path
@@ -340,6 +347,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         snapshot_every=hours(args.snapshot_every),
         faults=plan,
+        probe_policy=args.probe_policy,
+        probe_rate=args.probe_rate,
+        probe_ports=tuple(args.probe_ports) if args.probe_ports else None,
     )
     fabric_config = None
     if fabric_mode:
@@ -367,6 +377,15 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
     if args.checkpoint_command != "prune":  # pragma: no cover - argparse gates
         raise SystemExit(f"unknown checkpoint command {args.checkpoint_command!r}")
+    if args.keep < 1:
+        # Keeping zero generations would leave nothing to resume from;
+        # refuse rather than let the store constructor traceback.
+        print(
+            f"error: --keep must be >= 1 (got {args.keep}); a prune always "
+            f"retains the newest committed generation",
+            file=sys.stderr,
+        )
+        return 2
     root = Path(args.directory)
     if not root.is_dir():
         print(f"checkpoint store {root} does not exist", file=sys.stderr)
@@ -747,18 +766,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
             )
         print()
         print(table.render())
-    if process_spans and getattr(args, "per_process", False):
+    if getattr(args, "per_process", False):
+        # Render the table even when no span carries a process label
+        # (e.g. a threaded-engine export): an explicit empty table, not
+        # silence and never a traceback.
         table = TextTable(
             title="Spans by process",
             headers=["Process", "Span", "Count", "Wall s", "CPU s"],
         )
         for record in sorted(
             process_spans,
-            key=lambda item: (item.get("process", ""), item.get("name", "")),
+            key=lambda item: (
+                item.get("process") or "", item.get("name") or ""
+            ),
         ):
             table.add_row(
-                record.get("process", ""),
-                record.get("name", ""),
+                record.get("process") or "",
+                record.get("name") or "",
                 format_count(record.get("count", 0)),
                 f"{record.get('wall_seconds', 0):.3f}",
                 f"{record.get('cpu_seconds', 0):.3f}",
@@ -778,6 +802,34 @@ def cmd_degradation(args: argparse.Namespace) -> int:
     from repro.experiments.degradation import run_from_args
 
     return run_from_args(args)
+
+
+def cmd_online_probing(args: argparse.Namespace) -> int:
+    from repro.experiments.online_probing import run_from_args
+
+    return run_from_args(args)
+
+
+def _add_probe_arguments(parser: argparse.ArgumentParser) -> None:
+    """Online-probing flags shared by ``stream`` and ``serve``."""
+    from repro.probe import POLICY_NAMES
+
+    parser.add_argument(
+        "--probe-policy", choices=POLICY_NAMES, default=None,
+        help="run the active side online: dispatch seeded probes "
+             "inside the event loop under this policy instead of "
+             "reading build-time scan reports",
+    )
+    parser.add_argument(
+        "--probe-rate", type=float, default=1.0, metavar="PPS",
+        help="probes per simulated second for the online prober "
+             "(default 1.0; 0 disables dispatch entirely)",
+    )
+    parser.add_argument(
+        "--probe-ports", type=int, nargs="+", default=None, metavar="PORT",
+        help="ports each target is probed on (default: the dataset's "
+             "configured service ports; required for tcp-all datasets)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -875,6 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record causally linked trace events (and crash flight-"
              "recorder dumps) into DIR; view with trace-view",
     )
+    _add_probe_arguments(stream)
 
     serve = commands.add_parser(
         "serve", help="serve live discovery state over HTTP while ingesting"
@@ -931,6 +984,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record causally linked trace events into DIR; serves "
              "/tracez and flight-recorder state on /healthz",
     )
+    _add_probe_arguments(serve)
 
     checkpoint = commands.add_parser(
         "checkpoint", help="checkpoint-store utilities"
@@ -1026,6 +1080,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep fault plans against passive/active completeness",
     )
     configure_parser(degradation)
+
+    from repro.experiments.online_probing import (
+        configure_parser as configure_online_probing,
+    )
+
+    online_probing = commands.add_parser(
+        "online_probing",
+        help="compare heartbeat/periodic online probing against the "
+             "passive stream across probe budgets",
+    )
+    configure_online_probing(online_probing)
     return parser
 
 
@@ -1045,6 +1110,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cmd_cache,
         "stats": cmd_stats,
         "degradation": cmd_degradation,
+        "online_probing": cmd_online_probing,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,44 @@
+"""Online active probing: in-stream probe scheduling and evidence.
+
+The build-time scanner (:mod:`repro.active`) materialises scan reports
+before a stream starts, as the paper's Nmap logs were; this package
+runs the active side *online* -- a :class:`ProbeScheduler` inside the
+engine's event loop dispatches seeded half-open probes in simulated
+time, interleaved with the packet stream, and its evidence feeds
+watermarks, ``/liveness``, ``/healthz`` and the final report the
+moment each probe completes.
+
+Policies (:mod:`repro.probe.policy`):
+
+* ``periodic`` -- the paper's 12-hour sweep, scheduled online;
+* ``heartbeat`` -- Beverly & Allman's continuous low-rate prober.
+
+See ``DESIGN.md`` section 16 for the architecture and the checkpoint
+identity of scheduler state.
+"""
+
+from repro.probe.policy import (
+    POLICY_NAMES,
+    HeartbeatPolicy,
+    PeriodicSweepPolicy,
+    SWEEP_SECONDS,
+    build_policy,
+)
+from repro.probe.scheduler import (
+    ProbeEvidenceView,
+    ProbeScheduler,
+    build_prober,
+    resolve_probe_ports,
+)
+
+__all__ = [
+    "POLICY_NAMES",
+    "SWEEP_SECONDS",
+    "HeartbeatPolicy",
+    "PeriodicSweepPolicy",
+    "ProbeEvidenceView",
+    "ProbeScheduler",
+    "build_policy",
+    "build_prober",
+    "resolve_probe_ports",
+]

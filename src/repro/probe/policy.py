@@ -1,0 +1,192 @@
+"""Probe scheduling policies: when to probe which (address, port).
+
+A policy is a pure function of an integer task index: ``task(k)``
+returns the *k*-th probe as ``(when, address, port)`` or ``None`` once
+the schedule is exhausted.  That shape is what makes online probing
+checkpointable with one integer -- the scheduler persists its cursor,
+and a resumed run replays the identical tail of the schedule because
+nothing about a task depends on when the engine happened to call for
+it.
+
+Two policies, the two sides of the trade-off this repo measures:
+
+* :class:`PeriodicSweepPolicy` -- the paper's every-12-hours Nmap
+  sweep, run online.  Sweep start times come from
+  :func:`repro.active.schedule.scan_start_times` (11:00 and 23:00);
+  each sweep walks the target list once at a linear pace.
+* :class:`HeartbeatPolicy` -- Beverly & Allman's "Internet Heartbeat"
+  prober: the same probe budget spread uniformly in time, one probe
+  every ``1/rate`` seconds, walking a seeded random permutation of the
+  (address, port) space.  One full pass over the permutation is one
+  coverage "sweep".
+
+Both policies treat ``rate <= 0`` as a null budget: no probes are ever
+scheduled, so an online run at rate 0 is byte-identical to the passive
+path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.active.schedule import scan_start_times
+from repro.simkernel.clock import Calendar, hours
+from repro.simkernel.rng import derive_seed
+
+#: Nominal length of one online periodic sweep -- the paper's 90-120
+#: minute runs (the same figure as the build-time scanner's
+#: ``SCAN_SWEEP_SECONDS``; duplicated so ``repro.probe`` does not pull
+#: in the dataset builder at import time).
+SWEEP_SECONDS = hours(1.75)
+
+#: One scheduled probe: (dataset time, address, TCP/UDP port).
+ProbeTask = tuple[float, int, int]
+
+#: Policy names the CLI accepts, in help order.
+POLICY_NAMES = ("periodic", "heartbeat")
+
+
+class PeriodicSweepPolicy:
+    """The paper's every-12-hours sweep, scheduled online.
+
+    Sweeps begin at the scheduled 11:00/23:00 times; within a sweep,
+    address ``i`` is probed at ``start + i * (duration / targets)``
+    with every port probed at that instant (one scanning machine, the
+    simplest deterministic walk).  The nominal 105-minute sweep is
+    stretched when the probe budget demands it -- ``duration =
+    max(nominal, probes / rate)``, the scanner's polite-timing rule --
+    and a stretched sweep that overruns the next scheduled start pushes
+    that sweep back to its own end: sweeps run back to back, never
+    concurrently.
+    """
+
+    name = "periodic"
+
+    def __init__(
+        self,
+        targets: Sequence[int],
+        ports: Sequence[int],
+        rate: float,
+        calendar: Calendar,
+        end: float,
+    ) -> None:
+        self.targets = list(targets)
+        self.ports = list(ports)
+        self.rate = float(rate)
+        self.sweep_size = len(self.targets) * len(self.ports)
+        starts: list[float] = []
+        duration = 0.0
+        if self.rate > 0 and self.sweep_size:
+            duration = max(SWEEP_SECONDS, self.sweep_size / self.rate)
+            previous_end: float | None = None
+            for scheduled in scan_start_times(calendar, 0.0, end):
+                start = scheduled
+                if previous_end is not None and start < previous_end:
+                    start = previous_end
+                if start >= end:
+                    # Pushed past the stream: this sweep (and every
+                    # later one) would never begin.
+                    break
+                starts.append(start)
+                previous_end = start + duration
+        self.duration = duration
+        self.starts = starts
+
+    @property
+    def total_tasks(self) -> int:
+        return len(self.starts) * self.sweep_size
+
+    def task(self, k: int) -> ProbeTask | None:
+        if k >= self.total_tasks:
+            return None
+        sweep, within = divmod(k, self.sweep_size)
+        address_index, port_index = divmod(within, len(self.ports))
+        step = self.duration / len(self.targets)
+        when = self.starts[sweep] + address_index * step
+        return (when, self.targets[address_index], self.ports[port_index])
+
+    def sweep_of(self, k: int) -> int:
+        return k // self.sweep_size
+
+    def sweep_count(self) -> int:
+        """Sweeps the schedule will start before the stream ends."""
+        return len(self.starts)
+
+    def sweep_bounds(self, sweep: int) -> tuple[float, float]:
+        """(start, nominal end) of one sweep."""
+        start = self.starts[sweep]
+        return (start, start + self.duration)
+
+
+class HeartbeatPolicy:
+    """A continuous low-rate prober (Beverly & Allman's heartbeat).
+
+    Spreads the probe budget uniformly in time: probe ``k`` fires at
+    ``(k + 1) / rate``, walking a seeded random permutation of the
+    (address, port) pairs and wrapping around indefinitely.  A full
+    pass over the permutation is one coverage "sweep" -- the moment
+    every pair has been probed at least once more, which is the
+    heartbeat's analogue of a completed Nmap run (and what negative
+    liveness evidence keys on).
+    """
+
+    name = "heartbeat"
+
+    def __init__(
+        self,
+        targets: Sequence[int],
+        ports: Sequence[int],
+        rate: float,
+        seed: int,
+        end: float,
+    ) -> None:
+        pairs = [(address, port) for address in targets for port in ports]
+        rng = random.Random(derive_seed(seed, "probe.heartbeat"))
+        rng.shuffle(pairs)
+        self.pairs = pairs
+        self.rate = float(rate)
+        self.end = float(end)
+        self.sweep_size = len(pairs)
+
+    def task(self, k: int) -> ProbeTask | None:
+        if self.rate <= 0 or not self.pairs:
+            return None
+        when = (k + 1) / self.rate
+        if when > self.end:
+            return None
+        address, port = self.pairs[k % self.sweep_size]
+        return (when, address, port)
+
+    def sweep_of(self, k: int) -> int:
+        return k // self.sweep_size
+
+    def sweep_count(self) -> int:
+        """Complete coverage passes that fit before the stream ends."""
+        if self.rate <= 0 or not self.pairs:
+            return 0
+        return int(self.end * self.rate) // self.sweep_size
+
+    def sweep_bounds(self, sweep: int) -> tuple[float, float]:
+        """(first probe time, last probe time) of one coverage pass."""
+        start = (sweep * self.sweep_size + 1) / self.rate
+        return (start, ((sweep + 1) * self.sweep_size) / self.rate)
+
+
+def build_policy(
+    name: str,
+    targets: Sequence[int],
+    ports: Sequence[int],
+    rate: float,
+    seed: int,
+    calendar: Calendar,
+    end: float,
+):
+    """Construct the named policy (the CLI/engine entry point)."""
+    if name == "periodic":
+        return PeriodicSweepPolicy(targets, ports, rate, calendar, end)
+    if name == "heartbeat":
+        return HeartbeatPolicy(targets, ports, rate, seed, end)
+    raise ValueError(
+        f"unknown probe policy {name!r}; expected one of {POLICY_NAMES}"
+    )

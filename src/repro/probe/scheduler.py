@@ -1,0 +1,446 @@
+"""The online probe scheduler: in-stream dispatch and live evidence.
+
+:class:`ProbeScheduler` runs inside the streaming engine's (or fabric
+supervisor's) event loop.  Each time stream time advances, the engine
+calls :meth:`ProbeScheduler.advance`, which dispatches every probe the
+policy scheduled at or before the new instant -- resolving each
+through the same host state machine that generates passive traffic
+(:meth:`~repro.campus.host.Host.tcp_probe_response`), so online active
+discovery disagrees with passive exactly where the paper says the two
+methods should.
+
+The scheduler *is* the run's active side: when online probing is
+enabled, watermarks, the final report, ``/liveness`` and ``/healthz``
+all read from its evidence instead of the build-time scan reports.
+Evidence accumulates the moment a probe completes -- a sweep still in
+flight contributes opens (and per-address negative evidence) without
+waiting for the sweep to finish.
+
+Everything the scheduler knows is plain picklable data, captured by
+:meth:`state_dict` and restored by :meth:`restore_state`; the engine
+embeds it in stream checkpoints and the fabric supervisor in its
+commit manifest, so killed-and-resumed online runs are byte-identical
+and probe scheduling survives shard failover untouched (the evidence
+lives with the supervisor, never in a worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.campus.host import ProbeOutcome, UdpProbeOutcome
+from repro.telemetry.metrics import registry as _telemetry_registry
+from repro.telemetry.tracing import tracer as _tracer
+
+
+@dataclass(frozen=True)
+class ProbeEvidenceView:
+    """An immutable copy of the scheduler's evidence, for readers.
+
+    The probe-side analogue of :class:`repro.query.liveness.ActiveView`
+    -- same query methods, so ``infer_liveness`` swaps one for the
+    other -- published inside each :class:`DiscoverySnapshot` while
+    ingest (and probing) continue.  ``last_probed`` is the sharper
+    evidence the online path adds: per-address probe times, so
+    "probed since and silent" is decidable mid-sweep instead of only
+    at sweep completion.
+    """
+
+    policy: str
+    rate: float
+    proto: str
+    issued: int
+    synacks: int
+    rsts: int
+    silent: int
+    udp_replies: int
+    first_open: Mapping[tuple[int, int], float]
+    last_open: Mapping[int, float]
+    last_probed: Mapping[int, float]
+    sweeps: tuple[tuple[float, frozenset[int]], ...]
+    sweeps_planned: int
+    current_sweep: int
+    sweep_progress: float
+
+    # ---- the ActiveView interface -------------------------------------
+
+    def active_last_seen(self, address: int, now: float) -> float | None:
+        """Latest active open of *address* at or before stream time."""
+        when = self.last_open.get(address)
+        return when if when is not None and when <= now else None
+
+    def probed_since(self, address: int, after: float, now: float) -> bool:
+        """A probe in ``(after, now]`` saw *address* silent or closed.
+
+        Finer-grained than the sweep-level rule: an in-flight sweep's
+        probes count as negative evidence the moment they complete.
+        """
+        probed = self.last_probed.get(address)
+        if probed is None or not (after < probed <= now):
+            return False
+        opened = self.last_open.get(address)
+        return opened is None or opened < probed
+
+    def sweeps_completed(self, now: float) -> int:
+        return sum(1 for end, _ in self.sweeps if end <= now)
+
+    # ---- /healthz -----------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``probes`` object ``/healthz`` reports."""
+        return {
+            "policy": self.policy,
+            "rate": self.rate,
+            "proto": self.proto,
+            "issued": self.issued,
+            "synacks": self.synacks,
+            "rsts": self.rsts,
+            "silent": self.silent,
+            "udp_replies": self.udp_replies,
+            "sweeps_completed": len(self.sweeps),
+            "sweeps_planned": self.sweeps_planned,
+            "current_sweep": self.current_sweep,
+            "sweep_progress": round(self.sweep_progress, 4),
+        }
+
+
+class ProbeScheduler:
+    """Dispatch one policy's probes in stream time; accumulate evidence.
+
+    ``proto`` selects the probe type: ``"tcp"`` half-open SYN probes
+    (SYN-ACK / RST / silence), ``"udp"`` generic datagrams (reply /
+    ICMP unreachable / silence, the paper's Section 4.5 scan).
+    """
+
+    def __init__(self, population, policy, proto: str = "tcp",
+                 internal: bool = True) -> None:
+        if proto not in ("tcp", "udp"):
+            raise ValueError(f"unknown probe proto {proto!r}")
+        self.population = population
+        self.policy = policy
+        self.proto = proto
+        self.internal = internal
+        self.cursor = 0
+        self.exhausted = False
+        self.issued = 0
+        self.synacks = 0
+        self.rsts = 0
+        self.silent = 0
+        self.udp_replies = 0
+        self.udp_unreachable = 0
+        #: (address, port) -> first open probe time (the active
+        #: analogue of the passive table's first_seen).
+        self.first_open: dict[tuple[int, int], float] = {}
+        #: address -> latest open probe time.
+        self.last_open: dict[int, float] = {}
+        #: address -> latest probe time, open or not (mid-sweep
+        #: negative evidence).
+        self.last_probed: dict[int, float] = {}
+        #: Per-address first opens in dispatch (= time) order; the
+        #: watermark timeline (mirrors ActiveTimeline's event list).
+        self.open_events: list[tuple[float, int]] = []
+        #: Completed sweeps: (nominal end, frozenset(open addresses)).
+        self.sweeps: list[tuple[float, frozenset[int]]] = []
+        self._current_sweep_opens: set[int] = set()
+        # addresses_by cursor state (rebuildable, not checkpointed).
+        self._known: set[int] = set()
+        self._events_cursor = 0
+
+    # ---- dispatch -----------------------------------------------------
+
+    def advance(self, now: float) -> int:
+        """Dispatch every probe scheduled at or before *now*.
+
+        Returns the number of probes dispatched by this call.  The
+        evidence after advancing to any instant is independent of the
+        call pattern that got there -- probes fire at policy times with
+        outcomes that are pure functions of (address, port, time) --
+        which is what makes the engine and the fabric byte-identical.
+        """
+        policy = self.policy
+        occupant = self.population.occupant_host
+        issued_before = self.issued
+        trc = _tracer()
+        while not self.exhausted:
+            task = policy.task(self.cursor)
+            if task is None:
+                self.exhausted = True
+                break
+            when, address, port = task
+            if when > now:
+                break
+            self._dispatch(when, address, port, occupant)
+            self.cursor += 1
+            if self.cursor % policy.sweep_size == 0:
+                self._complete_sweep(policy.sweep_of(self.cursor - 1), trc)
+        dispatched = self.issued - issued_before
+        if dispatched:
+            self._flush_telemetry(dispatched)
+        return dispatched
+
+    def _dispatch(self, when: float, address: int, port: int,
+                  occupant) -> None:
+        self.issued += 1
+        self.last_probed[address] = when
+        host = occupant(address, when)
+        opened = False
+        if host is None:
+            self.silent += 1
+        elif self.proto == "udp":
+            outcome = host.udp_probe_response(port, when,
+                                              internal=self.internal)
+            if outcome is UdpProbeOutcome.REPLY:
+                self.udp_replies += 1
+                opened = True
+            elif outcome is UdpProbeOutcome.ICMP_UNREACHABLE:
+                self.udp_unreachable += 1
+            else:
+                self.silent += 1
+        else:
+            outcome = host.tcp_probe_response(port, when,
+                                              internal=self.internal)
+            if outcome is ProbeOutcome.SYNACK:
+                self.synacks += 1
+                opened = True
+            elif outcome is ProbeOutcome.RST:
+                self.rsts += 1
+            else:
+                self.silent += 1
+        if opened:
+            key = (address, port)
+            if key not in self.first_open:
+                self.first_open[key] = when
+                if address not in self.last_open:
+                    self.open_events.append((when, address))
+            if self.last_open.get(address, -1.0) < when:
+                self.last_open[address] = when
+            self._current_sweep_opens.add(address)
+
+    def _complete_sweep(self, sweep: int, trc) -> None:
+        _, sweep_end = self.policy.sweep_bounds(sweep)
+        opens = frozenset(self._current_sweep_opens)
+        self.sweeps.append((sweep_end, opens))
+        self._current_sweep_opens = set()
+        if trc.enabled:
+            trc.event(
+                "probe.sweep", sweep=sweep, end=sweep_end, opens=len(opens),
+            )
+        reg = _telemetry_registry()
+        if reg.enabled:
+            reg.counter(
+                "repro_probe_sweeps_total",
+                "Online probe sweeps (coverage passes) completed.",
+            ).inc()
+
+    def _flush_telemetry(self, dispatched: int) -> None:
+        """Fold this advance's outcome deltas into the registry.
+
+        Called once per advance that dispatched anything, with
+        aggregate deltas -- the disabled cost stays a handful of no-op
+        calls no matter the probe volume.
+        """
+        reg = _telemetry_registry()
+        if not reg.enabled:
+            return
+        self._flushed = getattr(self, "_flushed", {
+            "issued": 0, "synacks": 0, "rsts": 0, "silent": 0,
+            "udp_replies": 0,
+        })
+        deltas = {
+            "issued": self.issued,
+            "synacks": self.synacks,
+            "rsts": self.rsts,
+            "silent": self.silent,
+            "udp_replies": self.udp_replies,
+        }
+        names = {
+            "issued": ("repro_probe_dispatched_total",
+                       "Online probes dispatched into the stream."),
+            "synacks": ("repro_probe_synacks_total",
+                        "Online probes answered with SYN-ACK."),
+            "rsts": ("repro_probe_rsts_total",
+                     "Online probes answered with RST."),
+            "silent": ("repro_probe_silent_total",
+                       "Online probes that timed out (down, firewalled, "
+                       "or unpopulated)."),
+            "udp_replies": ("repro_probe_udp_replies_total",
+                            "Online UDP probes that drew a reply."),
+        }
+        for key, total in deltas.items():
+            delta = total - self._flushed[key]
+            if delta:
+                name, help_text = names[key]
+                reg.counter(name, help_text).inc(delta)
+                self._flushed[key] = total
+
+    # ---- the watermark timeline ---------------------------------------
+
+    def addresses_by(self, t: float) -> set[int]:
+        """Addresses with an online-probe open at or before *t*.
+
+        The same monotone-cursor contract as
+        :meth:`repro.stream.watermark.ActiveTimeline.addresses_by` --
+        the engine and supervisor advance the scheduler past a mark
+        before asking, so every event at or before it has fired.
+        """
+        events = self.open_events
+        cursor = self._events_cursor
+        known = self._known
+        while cursor < len(events) and events[cursor][0] <= t:
+            known.add(events[cursor][1])
+            cursor += 1
+        self._events_cursor = cursor
+        return known
+
+    @property
+    def total_addresses(self) -> int:
+        return len(self.last_open)
+
+    # ---- final-report inputs ------------------------------------------
+
+    def open_addresses(self) -> set[int]:
+        """Every address any probe ever found open."""
+        return set(self.last_open)
+
+    def sweeps_recorded(self) -> int:
+        """Sweeps whose every probe has been dispatched."""
+        return len(self.sweeps)
+
+    # ---- checkpoints ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a resumed run needs, as plain picklable data."""
+        return {
+            "cursor": self.cursor,
+            "exhausted": self.exhausted,
+            "issued": self.issued,
+            "synacks": self.synacks,
+            "rsts": self.rsts,
+            "silent": self.silent,
+            "udp_replies": self.udp_replies,
+            "udp_unreachable": self.udp_unreachable,
+            "first_open": dict(self.first_open),
+            "last_open": dict(self.last_open),
+            "last_probed": dict(self.last_probed),
+            "open_events": list(self.open_events),
+            "sweeps": list(self.sweeps),
+            "current_sweep_opens": set(self._current_sweep_opens),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.cursor = int(state["cursor"])
+        self.exhausted = bool(state["exhausted"])
+        self.issued = int(state["issued"])
+        self.synacks = int(state["synacks"])
+        self.rsts = int(state["rsts"])
+        self.silent = int(state["silent"])
+        self.udp_replies = int(state["udp_replies"])
+        self.udp_unreachable = int(state["udp_unreachable"])
+        self.first_open = dict(state["first_open"])
+        self.last_open = dict(state["last_open"])
+        self.last_probed = dict(state["last_probed"])
+        self.open_events = list(state["open_events"])
+        self.sweeps = list(state["sweeps"])
+        self._current_sweep_opens = set(state["current_sweep_opens"])
+        # The addresses_by cursor rebuilds from the restored event
+        # list as watermarks advance; identical sets either way.
+        self._known = set()
+        self._events_cursor = 0
+
+    # ---- snapshots -----------------------------------------------------
+
+    def view(self) -> ProbeEvidenceView:
+        """An immutable copy for publication inside a snapshot."""
+        policy = self.policy
+        sweep_size = policy.sweep_size
+        if self.exhausted or sweep_size == 0:
+            current = len(self.sweeps)
+            progress = 1.0 if self.exhausted and sweep_size else 0.0
+        else:
+            current = policy.sweep_of(self.cursor)
+            progress = (self.cursor % sweep_size) / sweep_size
+        return ProbeEvidenceView(
+            policy=policy.name,
+            rate=policy.rate,
+            proto=self.proto,
+            issued=self.issued,
+            synacks=self.synacks,
+            rsts=self.rsts,
+            silent=self.silent,
+            udp_replies=self.udp_replies,
+            first_open=dict(self.first_open),
+            last_open=dict(self.last_open),
+            last_probed=dict(self.last_probed),
+            sweeps=tuple(self.sweeps),
+            sweeps_planned=policy.sweep_count(),
+            current_sweep=current,
+            sweep_progress=progress,
+        )
+
+
+def resolve_probe_ports(ports, dataset) -> tuple[list[int], str]:
+    """(ports to probe, probe proto) for a dataset.
+
+    Explicit *ports* win (probed as the dataset's protocol); otherwise
+    the dataset's watched port list is the target set, exactly what the
+    build-time scanner sweeps.  DTCPall watches *all* TCP ports --
+    online-probing 65k ports per address is a budget decision the
+    operator must make, so it requires an explicit list.
+    """
+    if dataset.tcp_ports is not None and dataset.tcp_ports:
+        proto = "tcp"
+        default = sorted(dataset.tcp_ports)
+    elif dataset.udp_ports:
+        proto = "udp"
+        default = sorted(dataset.udp_ports)
+    elif dataset.tcp_ports is None:
+        proto = "tcp"
+        default = None
+    else:
+        proto = "tcp"
+        default = []
+    if ports is not None:
+        return (sorted(ports), proto)
+    if default is None:
+        raise ValueError(
+            f"dataset {dataset.spec.name} watches all TCP ports; online "
+            f"probing needs an explicit --probe-ports list"
+        )
+    if not default:
+        raise ValueError(
+            f"dataset {dataset.spec.name} watches no ports; pass "
+            f"--probe-ports to probe online"
+        )
+    return (default, proto)
+
+
+def build_prober(
+    dataset,
+    policy_name: str | None,
+    rate: float,
+    ports,
+    seed: int,
+    end: float,
+) -> ProbeScheduler | None:
+    """The scheduler for one stream run, or ``None`` when probing is off.
+
+    Deterministic in its arguments: the engine and the fabric
+    supervisor build identical schedulers from the same
+    :class:`~repro.stream.engine.StreamConfig`.
+    """
+    if policy_name is None:
+        return None
+    from repro.probe.policy import build_policy
+
+    probe_ports, proto = resolve_probe_ports(ports, dataset)
+    policy = build_policy(
+        policy_name,
+        dataset.probe_targets(),
+        probe_ports,
+        rate,
+        seed,
+        dataset.calendar,
+        end,
+    )
+    return ProbeScheduler(dataset.population, policy, proto=proto)

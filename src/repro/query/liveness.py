@@ -121,7 +121,16 @@ def infer_liveness(
 
     Deterministic in (snapshot, active view, horizon); the JSON shape
     is the ``GET /liveness/{addr}`` response body.
+
+    A snapshot published by an online-probing run carries its own
+    active evidence (``snapshot.probes``, the scheduler's view at the
+    same consistent cut); it replaces the build-time *active* view, so
+    verdicts account for sweeps still in flight -- the per-address
+    probe times inside the view make "probed since last evidence and
+    silent" decidable mid-sweep.
     """
+    if snapshot.probes is not None:
+        active = snapshot.probes
     now = snapshot.now
     passive_last = snapshot.passive_last_seen(address)
     active_last = active.active_last_seen(address, now)

@@ -93,6 +93,12 @@ class DiscoverySnapshot:
     flows: Mapping[Endpoint, int] = field(default_factory=dict)
     clients: Mapping[Endpoint, int] = field(default_factory=dict)
     watermarks: tuple = ()
+    #: Online-probing evidence at the same consistent cut (a
+    #: :class:`repro.probe.scheduler.ProbeEvidenceView`; duck-typed so
+    #: this module never imports :mod:`repro.probe`).  ``None`` for
+    #: passive-only runs -- readers then fall back to the build-time
+    #: :class:`~repro.query.liveness.ActiveView`.
+    probes: object | None = None
 
     # ---- set views (the report's inputs) ------------------------------
 
@@ -184,6 +190,7 @@ def merge_snapshot_payloads(
     records: int,
     watermarks: Iterable = (),
     version: int = 0,
+    probes: object | None = None,
 ) -> DiscoverySnapshot:
     """Union per-shard payloads into one snapshot (disjoint keys).
 
@@ -210,6 +217,7 @@ def merge_snapshot_payloads(
         flows=flows,
         clients=clients,
         watermarks=tuple(watermarks),
+        probes=probes,
     )
 
 
@@ -219,6 +227,7 @@ def snapshot_states(
     records: int,
     watermarks: Iterable = (),
     version: int = 0,
+    probes: object | None = None,
 ) -> DiscoverySnapshot:
     """Copy-on-publish snapshot of in-process shard states.
 
@@ -232,4 +241,5 @@ def snapshot_states(
         records=records,
         watermarks=watermarks,
         version=version,
+        probes=probes,
     )

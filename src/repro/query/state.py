@@ -98,6 +98,11 @@ class QueryState:
             "now": snapshot.now,
             "endpoints": len(snapshot.first_seen),
         }
+        if snapshot.probes is not None:
+            # Online probing: policy, probes issued, sweep progress --
+            # read off the published snapshot, so health and query
+            # answers describe the same consistent cut.
+            body["probes"] = snapshot.probes.health()
         if self._fabric is not None:
             body["fabric"] = self._fabric
         from repro.telemetry.tracing import tracer

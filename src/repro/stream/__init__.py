@@ -11,7 +11,15 @@ engine (:mod:`.engine`) ties the pieces together and merges shard
 states into the ordinary report structures -- byte-identical to the
 batch path on the same (seed, scale, faults) configuration.
 
-Entry point: ``python -m repro stream DATASET --shards N``.
+With ``StreamConfig.probe_policy`` set, the engine (and the process
+fabric) also run the active side online: a
+:class:`repro.probe.ProbeScheduler` dispatches seeded probes inside
+the event loop, and watermarks, checkpoints, snapshots and the final
+report read its live evidence instead of build-time scan reports.
+
+Entry point: ``python -m repro stream DATASET --shards N``
+(``--probe-policy periodic|heartbeat --probe-rate R`` for online
+probing).
 """
 
 from repro.stream.checkpoint import (

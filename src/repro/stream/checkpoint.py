@@ -76,16 +76,27 @@ class CheckpointCorrupt(CheckpointError):
 
 
 def checkpoint_config(
-    dataset: str, seed: int, scale: float, shards: int, fault_digest: str | None
+    dataset: str, seed: int, scale: float, shards: int, fault_digest: str | None,
+    probe: dict | None = None,
 ) -> dict:
-    """The identity a checkpoint is only valid for (compared on load)."""
-    return {
+    """The identity a checkpoint is only valid for (compared on load).
+
+    *probe* is the online-probing identity (policy name, rate, port
+    list) when the run probes online; it joins the identity only then,
+    so passive checkpoints keep their existing shape and an online
+    checkpoint can never resume a passive run (or vice versa, or an
+    online run under a different probe schedule).
+    """
+    identity = {
         "dataset": dataset,
         "seed": seed,
         "scale": repr(scale),
         "shards": shards,
         "fault_digest": fault_digest,
     }
+    if probe is not None:
+        identity["probe"] = probe
+    return identity
 
 
 # ---- framing and durable writes ---------------------------------------

@@ -41,6 +41,7 @@ from repro.core.completeness import CompletenessSummary, summarize_overlap
 from repro.core.report import survey_table
 from repro.net.packet import PacketRecord
 from repro.passive.monitor import Endpoint, PassiveServiceTable
+from repro.probe import POLICY_NAMES, build_prober
 from repro.query.snapshot import DiscoverySnapshot, snapshot_states
 from repro.stream.checkpoint import (
     checkpoint_config,
@@ -96,6 +97,19 @@ class StreamConfig:
     #: ``PacketRecord`` lists as before; results are byte-identical
     #: either way, so this is purely a throughput switch.
     columnar: bool = True
+    #: Online probing policy (``"periodic"`` or ``"heartbeat"``); None
+    #: streams passively against build-time scan reports, exactly as
+    #: before.  With a policy set, the run's active side comes
+    #: exclusively from the in-stream :class:`repro.probe.ProbeScheduler`
+    #: -- watermarks, the final report, and published snapshots all
+    #: read its live evidence.
+    probe_policy: str | None = None
+    #: Probes per second: the heartbeat's uniform rate, the periodic
+    #: sweep's polite-timing cap.  0 (the default) schedules no probes
+    #: -- an online run at rate 0 is byte-identical to the passive path.
+    probe_rate: float = 0.0
+    #: Ports to probe; None means the dataset's watched port list.
+    probe_ports: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -106,6 +120,36 @@ class StreamConfig:
             raise ValueError("checkpoint_every must be positive")
         if self.snapshot_every is not None and self.snapshot_every <= 0:
             raise ValueError("snapshot_every must be positive")
+        if self.probe_policy is not None and self.probe_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown probe policy {self.probe_policy!r}; "
+                f"expected one of {POLICY_NAMES}"
+            )
+        if self.probe_rate < 0:
+            raise ValueError("probe_rate must be >= 0")
+        if self.probe_ports is not None and not self.probe_ports:
+            raise ValueError("probe_ports must be None or non-empty")
+
+    def probe_identity(self) -> dict | None:
+        """The online-probing part of the checkpoint identity.
+
+        Everything the probe schedule is a pure function of (beyond
+        the dataset/seed/scale already in the identity): policy, rate
+        (keyed by ``repr`` like the scale), and the explicit port list.
+        ``None`` when probing is off, keeping passive checkpoint
+        identities exactly as they were.
+        """
+        if self.probe_policy is None:
+            return None
+        return {
+            "policy": self.probe_policy,
+            "rate": repr(float(self.probe_rate)),
+            "ports": (
+                sorted(self.probe_ports)
+                if self.probe_ports is not None
+                else None
+            ),
+        }
 
 
 @dataclass
@@ -143,6 +187,7 @@ def finalize_result(
     checkpoints_written: int,
     resumed: bool,
     now: float = 0.0,
+    probes=None,
 ) -> StreamResult:
     """Merge drained shard states and render the final report.
 
@@ -152,6 +197,11 @@ def finalize_result(
     The completeness summary is computed from the *query snapshot's*
     view of the merged state (:func:`snapshot_states`), so the rendered
     report and an exhaustive ``/services`` query share one aggregation.
+
+    *probes* is the run's :class:`~repro.probe.ProbeScheduler` when it
+    probed online (advanced to the stream end by the caller); its live
+    evidence then replaces the build-time scan reports as the report's
+    active side, and the scan count is the sweeps it completed.
     """
     merged = merge_shards(
         states,
@@ -162,19 +212,25 @@ def finalize_result(
         ),
     )
     snapshot = snapshot_states(
-        states, now=now, records=records_delivered, watermarks=watermarks
+        states, now=now, records=records_delivered, watermarks=watermarks,
+        probes=probes.view() if probes is not None else None,
     )
-    active_addresses = {
-        address for address, _ in union_open_endpoints(dataset.scan_reports)
-    }
-    if dataset.udp_report is not None:
-        active_addresses |= {
-            address for address, _ in dataset.udp_report.open_endpoints()
+    if probes is not None:
+        active_addresses = probes.open_addresses()
+        scans = probes.sweeps_recorded()
+    else:
+        active_addresses = {
+            address for address, _ in union_open_endpoints(dataset.scan_reports)
         }
+        if dataset.udp_report is not None:
+            active_addresses |= {
+                address for address, _ in dataset.udp_report.open_endpoints()
+            }
+        scans = len(dataset.scan_reports)
     summary = summarize_overlap(snapshot.server_addresses(), active_addresses)
     report = survey_table(
         config.dataset, config.scale, config.seed,
-        records_delivered, len(dataset.scan_reports), summary,
+        records_delivered, scans, summary,
     ).render()
     return StreamResult(
         finished=True,
@@ -235,7 +291,8 @@ class StreamEngine:
             digest = fault_plan_digest(self.plan)
         config = self.config
         return checkpoint_config(
-            config.dataset, config.seed, config.scale, config.shards, digest
+            config.dataset, config.seed, config.scale, config.shards, digest,
+            probe=config.probe_identity(),
         )
 
     def _effective_end(self) -> float:
@@ -394,7 +451,18 @@ class StreamEngine:
             if self.plan is not None
             else None
         )
-        active = ActiveTimeline(dataset.scan_reports, dataset.udp_report)
+        prober = build_prober(
+            dataset, config.probe_policy, config.probe_rate,
+            config.probe_ports, config.seed, end,
+        )
+        # With online probing, the scheduler IS the active side: its
+        # live evidence feeds watermarks (same addresses_by contract)
+        # instead of the build-time scan timeline.
+        active = (
+            prober
+            if prober is not None
+            else ActiveTimeline(dataset.scan_reports, dataset.udp_report)
+        )
         marks = (
             emit_schedule(end, config.emit_every)
             if config.emit_every
@@ -429,6 +497,8 @@ class StreamEngine:
                     state.restore_state(saved)
                 if faults is not None and payload.get("faults") is not None:
                     faults.restore_state(payload["faults"])
+                if prober is not None and payload.get("probes") is not None:
+                    prober.restore_state(payload["probes"])
                 resumed = True
 
         next_checkpoint = None
@@ -457,6 +527,9 @@ class StreamEngine:
                 "now": now,
                 "emitted_index": emitted_index,
                 "watermarks": list(watermarks),
+                "probes": (
+                    prober.state_dict() if prober is not None else None
+                ),
             }
 
         ingestor = StreamIngestor(states, max_queue_chunks=config.max_queue_chunks)
@@ -505,6 +578,11 @@ class StreamEngine:
                         ingestor.dispatch(split_batch(batch, is_campus, shards))
                     if trc.enabled:
                         trc.note("engine.batch", records=records_read)
+                if prober is not None:
+                    # Interleave: fire every probe the policy scheduled
+                    # at or before the stream's new instant, so the
+                    # watermark/checkpoint below see its evidence.
+                    prober.advance(now)
                 while emitted_index < len(marks) and now >= marks[emitted_index]:
                     ingestor.drain()
                     mark = marks[emitted_index]
@@ -545,6 +623,9 @@ class StreamEngine:
                             now=now,
                             records=records_delivered,
                             watermarks=list(watermarks),
+                            probes=(
+                                prober.view() if prober is not None else None
+                            ),
                         )
                     )
                     if trc.enabled:
@@ -626,6 +707,12 @@ class StreamEngine:
                 watermarks=watermarks,
             )
 
+        if prober is not None:
+            # The stream is drained; fire everything scheduled through
+            # its end (probes can outlast the last packet) so the final
+            # marks and report carry the complete active evidence.
+            prober.advance(end)
+
         while emitted_index < len(marks):
             # Marks at or past the last record's timestamp (always at
             # least the final one) are emitted once the source drains.
@@ -651,7 +738,7 @@ class StreamEngine:
         result = finalize_result(
             config, dataset, states, watermarks,
             records_read, records_delivered, checkpoints_written, resumed,
-            now=now,
+            now=now, probes=prober,
         )
         if publisher is not None and result.snapshot is not None:
             publisher.publish(result.snapshot)

@@ -60,6 +60,7 @@ from typing import Callable
 from repro.core.completeness import summarize_overlap
 from repro.faults.worker import WorkerFaultEvents, WorkerFaultPlan
 from repro.passive.monitor import PassiveServiceTable
+from repro.probe import build_prober
 from repro.query.snapshot import merge_snapshot_payloads, shard_snapshot_payload
 from repro.stream.checkpoint import (
     ShardCheckpointStore,
@@ -870,6 +871,11 @@ class FabricSupervisor:
                 "emitted_index": self._emitted_index,
                 "watermarks": list(self._watermarks),
                 "faults": faults.state_dict() if faults is not None else None,
+                "probes": (
+                    self._prober.state_dict()
+                    if self._prober is not None
+                    else None
+                ),
             }
             path = self.store.save_manifest(generation, self._identity, payload)
             self._committed = generation
@@ -924,6 +930,11 @@ class FabricSupervisor:
                         now=self._now,
                         records=self._records_delivered,
                         watermarks=list(self._watermarks),
+                        probes=(
+                            self._prober.view()
+                            if self._prober is not None
+                            else None
+                        ),
                     )
                 )
                 reg = _telemetry_registry()
@@ -1010,7 +1021,19 @@ class FabricSupervisor:
             if self.plan is not None
             else None
         )
-        self._active = ActiveTimeline(dataset.scan_reports, dataset.udp_report)
+        self._prober = build_prober(
+            dataset, config.probe_policy, config.probe_rate,
+            config.probe_ports, config.seed, self._end,
+        )
+        # Online probing runs supervisor-side: the scheduler replaces
+        # the build-time timeline as the watermarks' active side, its
+        # state rides in the commit manifest, and -- because it never
+        # lives in a worker -- shard failover cannot perturb it.
+        self._active = (
+            self._prober
+            if self._prober is not None
+            else ActiveTimeline(dataset.scan_reports, dataset.udp_report)
+        )
         marks = (
             emit_schedule(self._end, config.emit_every)
             if config.emit_every
@@ -1068,6 +1091,11 @@ class FabricSupervisor:
                 self._watermarks = list(manifest["watermarks"])
                 if faults is not None and manifest.get("faults") is not None:
                     faults.restore_state(manifest["faults"])
+                if (
+                    self._prober is not None
+                    and manifest.get("probes") is not None
+                ):
+                    self._prober.restore_state(manifest["probes"])
                 self._generation = plan.generation
                 self._committed = plan.generation
                 for restore in plan.shards:
@@ -1143,6 +1171,10 @@ class FabricSupervisor:
                         trc.note(
                             "supervisor.batch", records=self._records_read
                         )
+                if self._prober is not None:
+                    # Interleave probe dispatch with feeding, so marks
+                    # and manifests below see the live evidence.
+                    self._prober.advance(self._now)
                 self._pump()
                 self._reap()
                 self._emit_ready_marks(progress)
@@ -1170,6 +1202,10 @@ class FabricSupervisor:
 
             # End of stream: emit every remaining scheduled mark (at
             # least the final one), then gather shard states.
+            if self._prober is not None:
+                # Probes can outlast the last packet; fire everything
+                # scheduled through the stream end first.
+                self._prober.advance(self._end)
             while self._emitted_index + len(self._pending_marks) < len(marks):
                 index = self._emitted_index + len(self._pending_marks)
                 self._send_mark(index, marks[index], self._records_delivered)
@@ -1216,7 +1252,7 @@ class FabricSupervisor:
             config, dataset, states, self._watermarks,
             self._records_read, self._records_delivered,
             self._checkpoints, resumed,
-            now=self._now,
+            now=self._now, probes=self._prober,
         )
         if publisher is not None and result.snapshot is not None:
             publisher.publish(result.snapshot)

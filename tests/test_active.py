@@ -188,3 +188,36 @@ class TestSchedule:
         builder = ScanScheduleBuilder(Calendar(), 0.0, days(1))
         with pytest.raises(KeyError):
             builder.subset_times("hourly")
+
+    def test_night_scan_window_spans_midnight(self):
+        calendar = Calendar()
+        times = scan_start_times(calendar, 0.0, days(2))
+        night = times[1]
+        assert calendar.to_datetime(night).hour == 23
+        # The paper's 90-120 minute sweep starting at 23:00 runs past
+        # midnight into the next calendar day...
+        sweep_end = night + hours(1.75)
+        assert (calendar.month_day_label(sweep_end)
+                != calendar.month_day_label(night))
+        assert calendar.to_datetime(sweep_end).hour == 0
+        # ...and the schedule still anchors the next start at 11:00,
+        # 12 hours later, undisturbed by the day boundary.
+        assert times[2] == night + hours(12)
+        assert calendar.to_datetime(times[2]).hour == 11
+
+    def test_start_mid_window_skips_to_next_anchor(self):
+        # A run beginning after 11:00 must wait for 23:00, not probe
+        # retroactively.  (Calendar zero is 10:00, so 11:00 = hours(1).)
+        assert scan_start_times(Calendar(), hours(2), days(1)) == [hours(13)]
+
+    def test_timetable_ignores_sweep_overrun(self):
+        # scan_start_times is a pure timetable: starts stay 12 h apart
+        # even when a budget-stretched sweep overruns the period.
+        # Resolving that collision is the caller's job (the online
+        # PeriodicSweepPolicy pushes overrun sweeps back to run back to
+        # back -- see test_probe.py); the timetable itself must never
+        # silently drop occurrences.
+        times = scan_start_times(Calendar(), 0.0, days(3))
+        assert len(times) == 6
+        for previous, current in zip(times, times[1:]):
+            assert current - previous == hours(12)

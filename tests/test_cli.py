@@ -204,3 +204,72 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCheckpointPruneValidation:
+    def test_keep_zero_is_rejected_clearly(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        assert main([
+            "checkpoint", "prune", str(store), "--keep", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--keep must be >= 1" in err
+        assert "Traceback" not in err
+
+    def test_negative_keep_is_rejected(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        assert main([
+            "checkpoint", "prune", str(store), "--keep", "-3",
+        ]) == 2
+        assert "--keep must be >= 1" in capsys.readouterr().err
+
+
+class TestStatsPerProcess:
+    def test_export_without_spans_prints_empty_table(self, tmp_path, capsys):
+        from repro.telemetry import MetricRegistry, write_exports
+
+        reg = MetricRegistry()
+        reg.counter("repro_stream_records_total", "Records.").inc(3)
+        write_exports(tmp_path, reg)
+        assert main(["stats", str(tmp_path), "--per-process"]) == 0
+        out = capsys.readouterr().out
+        assert "Spans by process" in out  # empty table, not silence
+
+
+class TestOnlineProbingCLI:
+    def test_stream_with_probe_policy(self, capsys):
+        assert main([
+            "stream", "DTCP1-18d", "--scale", "0.02", "--seed", "4",
+            "--shards", "2", "--probe-policy", "periodic",
+            "--probe-rate", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Passive AND Active" in out
+
+    def test_allports_dataset_requires_probe_ports(self):
+        with pytest.raises(ValueError, match="probe-ports"):
+            main([
+                "stream", "DTCPall", "--scale", "1.0", "--seed", "3",
+                "--probe-policy", "heartbeat",
+            ])
+
+    def test_online_probing_experiment_runs(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([
+            "online_probing", "--scale", "0.02", "--days", "1",
+            "--rates", "0.2", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "Online probing: DTCP1-18d" in printed
+        assert "heartbeat" in printed and "periodic" in printed
+        assert out.read_text(encoding="utf-8").rstrip("\n") in printed
+
+    def test_online_probing_rejects_bad_rates(self):
+        from repro.experiments.online_probing import run_online_probing
+
+        with pytest.raises(ValueError, match="positive"):
+            run_online_probing(rates=(0.0,))
+        with pytest.raises(ValueError, match="at least one"):
+            run_online_probing(rates=())

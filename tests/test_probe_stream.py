@@ -1,0 +1,190 @@
+"""Integration tests: online probing inside the stream engine and fabric.
+
+The acceptance properties from the probe subsystem's contract:
+
+* an online run at probe rate 0 is byte-identical to the passive
+  streaming path (no probes scheduled, no evidence, same report);
+* a killed-and-resumed online run is byte-identical to an
+  uninterrupted one (scheduler state rides in the checkpoint);
+* the threaded engine and the process fabric produce byte-identical
+  online reports, including under injected worker crashes (the
+  scheduler lives with the supervisor, so failover cannot touch it);
+* published snapshots carry the probe evidence view, so ``/liveness``
+  and ``/healthz`` answer from the online prober's live evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.faults.worker import WorkerFaultPlan
+from repro.query.state import QueryState
+from repro.simkernel.clock import days, hours
+from repro.stream import (
+    FabricConfig,
+    FabricSupervisor,
+    StreamConfig,
+    StreamEngine,
+)
+
+#: Must match the session-scoped ``small_dtcp18`` fixture's build.
+SMALL = dict(dataset="DTCP1-18d", seed=7, scale=0.04)
+
+#: Supervision tuned for tests (same figures as test_stream_fabric).
+FAST = dict(
+    heartbeat_interval=0.05,
+    miss_budget=4,
+    restart_backoff=0.01,
+    restart_backoff_max=0.05,
+)
+
+
+def probing_config(**overrides) -> StreamConfig:
+    base = dict(
+        **SMALL, shards=2, end=days(2),
+        probe_policy="periodic", probe_rate=5.0,
+    )
+    return StreamConfig(**{**base, **overrides})
+
+
+@pytest.fixture(scope="module")
+def small_dtcp90():
+    """A passive-only dataset (no build-time scans): the rate-0 foil."""
+    return build_dataset("DTCP1-90d", seed=7, scale=0.02)
+
+
+def renders(result) -> list[str]:
+    return [result.report] + [w.render() for w in result.watermarks]
+
+
+class TestRateZeroIdentity:
+    @pytest.mark.parametrize("policy", ["heartbeat", "periodic"])
+    def test_engine_rate_zero_matches_passive(self, small_dtcp90, policy):
+        base = dict(
+            dataset="DTCP1-90d", seed=7, scale=0.02, shards=2,
+            end=days(2), emit_every=hours(12),
+        )
+        passive = StreamEngine(
+            StreamConfig(**base), dataset=small_dtcp90
+        ).run()
+        probed = StreamEngine(
+            StreamConfig(**base, probe_policy=policy, probe_rate=0.0),
+            dataset=small_dtcp90,
+        ).run()
+        assert renders(probed) == renders(passive)
+        # The null prober still publishes its (empty) evidence view.
+        assert probed.snapshot.probes is not None
+        assert probed.snapshot.probes.issued == 0
+        assert passive.snapshot.probes is None
+
+    def test_fabric_rate_zero_matches_passive(self, small_dtcp90):
+        base = dict(
+            dataset="DTCP1-90d", seed=7, scale=0.02, shards=2, end=days(2),
+        )
+        passive = FabricSupervisor(
+            StreamConfig(**base), FabricConfig(**FAST), dataset=small_dtcp90
+        ).run()
+        probed = FabricSupervisor(
+            StreamConfig(**base, probe_policy="heartbeat", probe_rate=0.0),
+            FabricConfig(**FAST), dataset=small_dtcp90,
+        ).run()
+        assert renders(probed) == renders(passive)
+
+
+class TestOnlineRunEquivalence:
+    @pytest.fixture(scope="class")
+    def engine_result(self, small_dtcp18):
+        config = probing_config(emit_every=hours(12))
+        return StreamEngine(config, dataset=small_dtcp18).run()
+
+    def test_probes_replace_buildtime_scans(self, engine_result):
+        probes = engine_result.snapshot.probes
+        assert probes is not None
+        assert probes.issued > 0
+        assert probes.last_open  # something answered
+        # The report's scan count is completed online sweeps, and the
+        # active side of the summary is the prober's open set.
+        assert len(probes.sweeps) > 0
+        assert engine_result.summary.active_total == len(probes.last_open)
+
+    def test_kill_and_resume_is_byte_identical(
+        self, small_dtcp18, engine_result, tmp_path
+    ):
+        config = probing_config(
+            emit_every=hours(12),
+            checkpoint_every=hours(6),
+            checkpoint_path=str(tmp_path / "probe.checkpoint"),
+        )
+        killed = StreamEngine(config, dataset=small_dtcp18).run(
+            stop_after_records=8000
+        )
+        assert not killed.finished
+        resumed = StreamEngine(config, dataset=small_dtcp18).run(resume=True)
+        assert resumed.resumed
+        assert renders(resumed) == renders(engine_result)
+        assert resumed.snapshot.probes == engine_result.snapshot.probes
+
+    def test_fabric_matches_engine(self, small_dtcp18, engine_result):
+        result = FabricSupervisor(
+            probing_config(emit_every=hours(12)),
+            FabricConfig(**FAST),
+            dataset=small_dtcp18,
+        ).run()
+        assert renders(result) == renders(engine_result)
+        assert result.snapshot.probes == engine_result.snapshot.probes
+
+    def test_fabric_with_worker_crashes_matches_engine(
+        self, small_dtcp18, engine_result
+    ):
+        faults = WorkerFaultPlan(seed=5, crash_rate=1.0, crashes_per_shard=2)
+        result = FabricSupervisor(
+            probing_config(emit_every=hours(12)),
+            FabricConfig(worker_faults=faults, max_restarts=25, **FAST),
+            dataset=small_dtcp18,
+        ).run()
+        assert renders(result) == renders(engine_result)
+
+
+class TestQueryIntegration:
+    @pytest.fixture(scope="class")
+    def served(self, small_dtcp18):
+        state = QueryState()
+        config = probing_config(snapshot_every=hours(12))
+        result = StreamEngine(config, dataset=small_dtcp18).run(
+            publisher=state
+        )
+        return state, result
+
+    def test_healthz_reports_probe_progress(self, served):
+        state, result = served
+        body = state.health()
+        probes = body["probes"]
+        assert probes["policy"] == "periodic"
+        assert probes["rate"] == 5.0
+        assert probes["issued"] == result.snapshot.probes.issued > 0
+        assert probes["sweeps_completed"] == len(result.snapshot.probes.sweeps)
+        assert probes["sweeps_planned"] >= probes["sweeps_completed"]
+        assert 0.0 <= probes["sweep_progress"] <= 1.0
+
+    def test_liveness_answers_from_probe_evidence(self, served):
+        from repro.query.liveness import infer_liveness
+
+        state, _ = served
+        snapshot = state.snapshot()
+        view = snapshot.probes
+        assert view is not None
+        # An address the prober saw open recently is alive even if it
+        # never appeared in passive traffic.
+        address = max(view.last_open, key=view.last_open.get)
+        verdict = infer_liveness(address, snapshot, active=None)
+        assert verdict["last_active_seen"] == view.last_open[address]
+        assert verdict["sweeps_completed"] == len(view.sweeps)
+        # A probed-but-silent address gets mid-sweep negative evidence.
+        silent = next(
+            a for a in view.last_probed
+            if a not in view.last_open
+            and snapshot.passive_last_seen(a) is None
+        )
+        silent_verdict = infer_liveness(silent, snapshot, active=None)
+        assert silent_verdict["verdict"] == "never-seen"
